@@ -1,0 +1,6 @@
+"""Benchmark suite regenerating the paper's tables and figures.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each ``bench_fig*`` /
+``bench_table*`` file covers one figure or table of the paper; the
+``bench_ablation_*`` files cover the design knobs called out in DESIGN.md.
+"""

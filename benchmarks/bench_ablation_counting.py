@@ -1,0 +1,51 @@
+"""Ablation: counting notifications vs per-message requests (§III).
+
+The tree app gathers all children of a node with a single counting request;
+this benchmark quantifies the saving against one request per child.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.cluster import run_ranks
+
+NCHILDREN = 15
+
+
+def _gather(counting: bool) -> float:
+    def prog(ctx):
+        win = yield from ctx.win_allocate(NCHILDREN * 8)
+        if ctx.rank == 0:
+            if counting:
+                reqs = [(yield from ctx.na.notify_init(
+                    win, expected_count=NCHILDREN))]
+            else:
+                reqs = []
+                for c in range(1, ctx.size):
+                    reqs.append((yield from ctx.na.notify_init(
+                        win, source=c)))
+            yield from ctx.barrier()
+            t0 = ctx.now
+            for r in reqs:
+                yield from ctx.na.start(r)
+            for r in reqs:
+                yield from ctx.na.wait(r)
+            return ctx.now - t0
+        yield from ctx.barrier()
+        yield from ctx.na.put_notify(win, np.zeros(1), 0,
+                                     (ctx.rank - 1) * 8, tag=ctx.rank)
+        return None
+
+    results, _ = run_ranks(NCHILDREN + 1, prog)
+    return results[0]
+
+
+def test_counting_beats_per_child_requests(benchmark):
+    def sweep():
+        return _gather(True), _gather(False)
+
+    t_counting, t_per_child = run_once(benchmark, sweep)
+    print()
+    print(f"gather of {NCHILDREN} children: counting={t_counting:.2f}us "
+          f"per-child={t_per_child:.2f}us")
+    assert t_counting <= t_per_child

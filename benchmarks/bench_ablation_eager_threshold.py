@@ -1,0 +1,55 @@
+"""Ablation: the MP eager↔rendezvous threshold.
+
+Sweeps ``eager_max`` and shows the crossover: below the message size, the
+rendezvous path (3 transactions) costs more than eager's copy; far above,
+eager's copy costs more than rendezvous' zero-copy transfer.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.pingpong import run_pingpong
+from repro.cluster import ClusterConfig
+from repro.network.loggp import TransportParams
+
+SIZE = 16384
+
+
+def _latency(eager_max):
+    cfg = ClusterConfig(nranks=2,
+                        params=TransportParams(eager_max=eager_max))
+    return run_pingpong("mp", SIZE, iters=15, config=cfg)["half_rtt_us"]
+
+
+def test_eager_threshold_ablation(benchmark):
+    def sweep():
+        return {th: _latency(th) for th in (1024, 16384, 1 << 20)}
+
+    res = run_once(benchmark, sweep)
+    print()
+    print("MP half-RTT at 16KB vs eager_max: "
+          + ", ".join(f"{k}B->{v:.2f}us" for k, v in res.items()))
+    # 16KB eagerly (th=16384) pays a 16KB copy; rendezvous (th=1024)
+    # pays 2 extra control transactions. For this size the copy is cheaper.
+    assert res[16384] < res[1024]
+    # With a huge threshold the result equals the 16384 threshold (same
+    # protocol decision).
+    assert res[16384] == pytest.approx(res[1 << 20])
+
+
+def test_rendezvous_wins_for_large(benchmark):
+    def sweep():
+        big = 512 * 1024
+        eager_cfg = ClusterConfig(
+            nranks=2, params=TransportParams(eager_max=1 << 20))
+        rndv_cfg = ClusterConfig(
+            nranks=2, params=TransportParams(eager_max=8192))
+        return (run_pingpong("mp", big, iters=5,
+                             config=eager_cfg)["half_rtt_us"],
+                run_pingpong("mp", big, iters=5,
+                             config=rndv_cfg)["half_rtt_us"])
+
+    eager, rndv = run_once(benchmark, sweep)
+    print()
+    print(f"512KB: eager={eager:.1f}us rendezvous={rndv:.1f}us")
+    assert rndv < eager          # the copy dominates at half a megabyte

@@ -1,0 +1,60 @@
+"""Ablation: the FMA↔BTE engine crossover for notified puts.
+
+FMA has lower latency but occupies the CPU for the injection; BTE adds
+descriptor-post cost and higher L but offloads.  The default crossover
+(4KB) should sit near where the latency curves intersect.
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps.pingpong import run_pingpong
+from repro.cluster import ClusterConfig
+from repro.network.loggp import TransportParams
+
+
+def _latency(size, fma_max):
+    cfg = ClusterConfig(nranks=2, params=TransportParams(fma_max=fma_max))
+    return run_pingpong("na", size, iters=15, config=cfg)["half_rtt_us"]
+
+
+def test_fma_bte_crossover(benchmark):
+    def sweep():
+        out = {}
+        for size in (512, 4096, 65536):
+            out[size] = {
+                "fma": _latency(size, fma_max=1 << 22),   # force FMA
+                "bte": _latency(size, fma_max=0),         # force BTE
+            }
+        return out
+
+    res = run_once(benchmark, sweep)
+    print()
+    for size, v in res.items():
+        print(f"  {size:6d}B  FMA={v['fma']:.3f}us  BTE={v['bte']:.3f}us")
+    # Small messages favour FMA (lower L, no descriptor post)...
+    assert res[512]["fma"] < res[512]["bte"]
+    # ...while the raw latency difference shrinks with size (both
+    # curves are G-dominated and the Gs differ by ~4%).
+    gap_small = res[512]["bte"] - res[512]["fma"]
+    gap_large = res[65536]["bte"] - res[65536]["fma"]
+    assert gap_large < gap_small * 1.5
+
+
+def test_bte_overlaps_better_for_large(benchmark):
+    """The real reason for BTE: CPU offload. At 64KB the FMA injection
+    occupies the CPU for the whole transfer; BTE posts and returns."""
+    from repro.apps.overlap import run_overlap
+
+    def sweep():
+        fma_cfg = ClusterConfig(
+            nranks=2, params=TransportParams(fma_max=1 << 22))
+        bte_cfg = ClusterConfig(
+            nranks=2, params=TransportParams(fma_max=0))
+        return (run_overlap("na", 65536, iters=8,
+                            config=fma_cfg)["overlap_ratio"],
+                run_overlap("na", 65536, iters=8,
+                            config=bte_cfg)["overlap_ratio"])
+
+    ov_fma, ov_bte = run_once(benchmark, sweep)
+    print()
+    print(f"64KB notified-put overlap: FMA={ov_fma:.2f} BTE={ov_bte:.2f}")
+    assert ov_bte > ov_fma

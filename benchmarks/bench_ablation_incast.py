@@ -1,0 +1,47 @@
+"""Ablation: incast fan-in width vs gather completion time.
+
+Receiver-side link serialization means a P-wide gather of large tiles
+drains in ~P transfer times; counting notifications hide the *software*
+cost, not the wire. This bounds how wide a single level of the Figure 4c
+tree can usefully be for bandwidth-bound payloads.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.cluster import run_ranks
+
+TILE = 65536
+
+
+def _gather_time(nsenders: int) -> float:
+    def prog(ctx):
+        win = yield from ctx.win_allocate(nsenders * TILE)
+        if ctx.rank == 0:
+            req = yield from ctx.na.notify_init(
+                win, expected_count=nsenders)
+            yield from ctx.na.start(req)
+            yield from ctx.barrier()
+            t0 = ctx.now
+            yield from ctx.na.wait(req)
+            return ctx.now - t0
+        yield from ctx.barrier()
+        yield from ctx.na.put_notify(win, np.zeros(TILE // 8), 0,
+                                     (ctx.rank - 1) * TILE, tag=1)
+        return None
+
+    results, _ = run_ranks(nsenders + 1, prog)
+    return results[0]
+
+
+def test_incast_scaling(benchmark):
+    def sweep():
+        return {n: _gather_time(n) for n in (1, 2, 4, 8)}
+
+    times = run_once(benchmark, sweep)
+    print()
+    print("64KB gather drain time vs fan-in: "
+          + ", ".join(f"{n}->{t:.1f}us" for n, t in times.items()))
+    # Wide gathers drain roughly linearly in the fan-in (wire-bound).
+    assert times[8] > 3.0 * times[2]
+    assert times[2] > times[1]

@@ -1,0 +1,42 @@
+"""Ablation: the shared-memory inline-transfer cutoff (§IV-C).
+
+Payloads at or below ``inline_max`` ride inside the notification cache
+line — one line transfer instead of a separate copy.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.pingpong import run_pingpong
+from repro.cluster import ClusterConfig
+from repro.network.loggp import TransportParams
+
+
+def _latency(size, inline_max):
+    cfg = ClusterConfig(nranks=2, ranks_per_node=2,
+                        params=TransportParams(inline_max=inline_max))
+    return run_pingpong("na", size, iters=15, same_node=True,
+                        config=cfg)["half_rtt_us"]
+
+
+def test_inline_transfer_saves_a_copy(benchmark):
+    def sweep():
+        return {
+            "inline_on": _latency(40, inline_max=48),
+            "inline_off": _latency(40, inline_max=0),
+        }
+
+    res = run_once(benchmark, sweep)
+    print()
+    print(f"40B shm notified put: inline={res['inline_on']:.3f}us "
+          f"copy-path={res['inline_off']:.3f}us")
+    assert res["inline_on"] < res["inline_off"]
+
+
+def test_inline_irrelevant_above_cutoff(benchmark):
+    def sweep():
+        return (_latency(4096, inline_max=48),
+                _latency(4096, inline_max=0))
+
+    a, b = run_once(benchmark, sweep)
+    assert a == pytest.approx(b, rel=1e-9)

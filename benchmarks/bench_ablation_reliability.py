@@ -1,0 +1,63 @@
+"""Ablation: notified gets on reliable vs unreliable networks (§VIII).
+
+On a reliable fabric the target's notification fires when the read is
+served; on an unreliable one it may only fire after the data reached the
+origin plus an ack — one extra round trip on the buffer-reuse path.
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps.pingpong import run_pingpong
+from repro.cluster import ClusterConfig
+from repro.network.loggp import TransportParams
+
+
+def test_unreliable_get_pays_roundtrip(benchmark):
+    def sweep():
+        rel = ClusterConfig(nranks=2,
+                            params=TransportParams(reliable=True))
+        unrel = ClusterConfig(nranks=2,
+                              params=TransportParams(reliable=False))
+        return (run_pingpong("na_get", 64, iters=15,
+                             config=rel)["half_rtt_us"],
+                run_pingpong("na_get", 64, iters=15,
+                             config=unrel)["half_rtt_us"])
+
+    t_rel, t_unrel = run_once(benchmark, sweep)
+    print()
+    print(f"notified-get half RTT: reliable={t_rel:.2f}us "
+          f"unreliable={t_unrel:.2f}us")
+    # The extra ack leg is roughly two wire latencies (data + ack).
+    assert t_unrel > t_rel + 1.0
+
+
+def test_put_unaffected_by_reliability_mode(benchmark):
+    def sweep():
+        rel = ClusterConfig(nranks=2,
+                            params=TransportParams(reliable=True))
+        unrel = ClusterConfig(nranks=2,
+                              params=TransportParams(reliable=False))
+        return (run_pingpong("na", 64, iters=15,
+                             config=rel)["half_rtt_us"],
+                run_pingpong("na", 64, iters=15,
+                             config=unrel)["half_rtt_us"])
+
+    t_rel, t_unrel = run_once(benchmark, sweep)
+    assert t_rel == t_unrel
+
+
+def test_retransmission_degrades_gracefully(benchmark):
+    def sweep():
+        lossy = ClusterConfig(
+            nranks=2, params=TransportParams(drop_rate=0.2, rto=5.0),
+            seed=3)
+        clean = ClusterConfig(nranks=2)
+        return (run_pingpong("na", 64, iters=30,
+                             config=clean)["half_rtt_us"],
+                run_pingpong("na", 64, iters=30,
+                             config=lossy)["half_rtt_us"])
+
+    t_clean, t_lossy = run_once(benchmark, sweep)
+    print()
+    print(f"NA put half RTT: clean={t_clean:.2f}us "
+          f"20%-drop={t_lossy:.2f}us")
+    assert t_lossy > t_clean

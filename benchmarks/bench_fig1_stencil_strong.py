@@ -1,0 +1,25 @@
+"""Figure 1: pipelined stencil, strong scaling."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.stencil import run_stencil
+
+
+@pytest.mark.parametrize("mode", ("mp", "na", "pscw"))
+def test_fig1_point(benchmark, mode):
+    r = run_once(benchmark, run_stencil, mode, 8, rows=256, cols=1280)
+    assert r["gmops"] > 0
+
+
+def test_fig1_table(benchmark):
+    from repro.bench.figures import fig1_stencil_strong
+    table = run_once(benchmark, fig1_stencil_strong,
+                     nranks_list=(2, 8, 32), scale=0.2)
+    print()
+    print(table)
+    # Paper shape: NA > 1.4x MP at 32 processes; One Sided far behind.
+    last = table.rows[-1]
+    assert last[0] == 32
+    assert last[5] > 1.4                       # NA/MP
+    assert last[4] > 4 * max(last[2], last[3])  # NA >> fence/PSCW

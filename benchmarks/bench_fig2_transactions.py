@@ -1,0 +1,15 @@
+"""Figure 2: wire-transaction audit per protocol."""
+
+from benchmarks.conftest import run_once
+
+
+def test_fig2_transactions(benchmark):
+    from repro.bench.figures import fig2_transactions
+    table = run_once(benchmark, fig2_transactions)
+    print()
+    print(table)
+    counts = {row[0]: row[1] for row in table.rows}
+    assert counts["na_put"] == 1
+    assert counts["mp_eager"] == 1
+    assert counts["mp_rndv"] == 3
+    assert counts["onesided_put_flag"] >= 3

@@ -1,0 +1,30 @@
+"""Figure 3a: put ping-pong latency, inter-node."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.pingpong import run_pingpong
+
+SIZES = (8, 2048, 131072)
+
+
+@pytest.mark.parametrize("mode", ("mp", "onesided_pscw", "na", "raw"))
+@pytest.mark.parametrize("size", SIZES)
+def test_fig3a_point(benchmark, mode, size):
+    r = run_once(benchmark, run_pingpong, mode, size, iters=20)
+    assert r["half_rtt_us"] > 0
+
+
+def test_fig3a_table(benchmark):
+    from repro.bench.figures import fig3a_pingpong_put
+    table = run_once(benchmark, fig3a_pingpong_put, sizes=(8, 512, 8192),
+                     iters=10)
+    print()
+    print(table)
+    # Paper shape: NA < 50% of One Sided on the smallest size.
+    row8 = table.rows[0]
+    na, onesided = row8[3], row8[2]
+    assert na < 0.5 * onesided
+    # NA beats eager MP at every size.
+    for row in table.rows:
+        assert row[3] < row[1]

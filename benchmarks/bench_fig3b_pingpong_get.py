@@ -1,0 +1,23 @@
+"""Figure 3b: get ping-pong latency, inter-node."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.pingpong import run_pingpong
+
+
+@pytest.mark.parametrize("size", (8, 8192, 131072))
+def test_fig3b_na_get_point(benchmark, size):
+    r = run_once(benchmark, run_pingpong, "na_get", size, iters=20)
+    assert r["half_rtt_us"] > 0
+
+
+def test_fig3b_table(benchmark):
+    from repro.bench.figures import fig3b_pingpong_get
+    table = run_once(benchmark, fig3b_pingpong_get, sizes=(8, 512, 8192),
+                     iters=10)
+    print()
+    print(table)
+    # Paper shape: NA-get always beats One Sided.
+    for row in table.rows:
+        assert row[3] < row[2]

@@ -1,0 +1,27 @@
+"""Figure 3c: intra-node (XPMEM) ping-pong latency."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.pingpong import run_pingpong
+
+
+@pytest.mark.parametrize("mode", ("mp", "na", "onesided_pscw"))
+def test_fig3c_point(benchmark, mode):
+    r = run_once(benchmark, run_pingpong, mode, 64, iters=20,
+                 same_node=True)
+    assert r["half_rtt_us"] > 0
+
+
+def test_fig3c_table(benchmark):
+    from repro.bench.figures import fig3c_pingpong_shm
+    table = run_once(benchmark, fig3c_pingpong_shm, sizes=(8, 512, 8192),
+                     iters=10)
+    print()
+    print(table)
+    # Paper shape: NA in the same latency class as MP intra-node (the
+    # notification overhead dominates) and clearly below One Sided.
+    for row in table.rows:
+        mp, onesided, na = row[1], row[2], row[3]
+        assert na < onesided
+        assert na < 1.2 * mp

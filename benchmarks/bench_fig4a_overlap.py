@@ -1,0 +1,25 @@
+"""Figure 4a: computation/communication overlap."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.overlap import OVERLAP_MODES, run_overlap
+
+
+@pytest.mark.parametrize("mode", OVERLAP_MODES)
+def test_fig4a_point(benchmark, mode):
+    r = run_once(benchmark, run_overlap, mode, 8192, iters=10)
+    assert 0.0 <= r["overlap_ratio"] <= 1.0
+
+
+def test_fig4a_table(benchmark):
+    from repro.bench.figures import fig4a_overlap
+    table = run_once(benchmark, fig4a_overlap,
+                     sizes=(64, 8192, 262144), iters=10)
+    print()
+    print(table)
+    # Paper shape: NA overlaps well at every size; MP poorly at small.
+    for row in table.rows:
+        assert row[4] > 0.7          # NA column
+    assert table.rows[0][1] < 0.5    # MP at 64 B
+    assert table.rows[-1][1] > 0.9   # MP at 256 KB

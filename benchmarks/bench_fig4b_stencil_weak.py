@@ -1,0 +1,25 @@
+"""Figure 4b: pipelined stencil, weak scaling."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.stencil import run_stencil
+
+
+@pytest.mark.parametrize("mode", ("mp", "na"))
+def test_fig4b_point(benchmark, mode):
+    r = run_once(benchmark, run_stencil, mode, 4, rows=320, cols=1280 * 4)
+    assert r["gmops"] > 0
+
+
+def test_fig4b_table(benchmark):
+    from repro.bench.figures import fig4b_stencil_weak
+    table = run_once(benchmark, fig4b_stencil_weak,
+                     nranks_list=(2, 4, 8), scale=0.15)
+    print()
+    print(table)
+    # Paper shape: NA beats MP at every weak-scaling point, and both beat
+    # the One Sided modes by a wide margin.
+    for row in table.rows:
+        assert row[5] > 1.0
+        assert row[4] > 2 * max(row[2], row[3])

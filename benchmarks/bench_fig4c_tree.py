@@ -1,0 +1,24 @@
+"""Figure 4c: 16-ary tree reduction latency."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.tree import TREE_MODES, run_tree_reduction
+
+
+@pytest.mark.parametrize("mode", TREE_MODES)
+def test_fig4c_point(benchmark, mode):
+    r = run_once(benchmark, run_tree_reduction, mode, 32, arity=16, reps=3)
+    assert r["time_us"] > 0
+
+
+def test_fig4c_table(benchmark):
+    from repro.bench.figures import fig4c_tree
+    table = run_once(benchmark, fig4c_tree, nranks_list=(4, 16, 64),
+                     reps=3)
+    print()
+    print(table)
+    # Paper shape: NA beats MP, PSCW, and the vendor reduce at every P.
+    for row in table.rows:
+        na = row[4]
+        assert na < row[1] and na < row[2] and na < row[3]

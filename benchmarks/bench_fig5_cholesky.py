@@ -1,0 +1,28 @@
+"""Figure 5: task-based Cholesky weak scaling (8KB tiles)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.cholesky import run_cholesky
+from repro.cluster import ClusterConfig
+
+
+@pytest.mark.parametrize("mode", ("mp", "onesided", "na"))
+def test_fig5_point(benchmark, mode):
+    cfg = ClusterConfig(nranks=8, flops_per_us=60000)
+    r = run_once(benchmark, run_cholesky, mode, 8, ntiles=12, b=32,
+                 config=cfg)
+    assert r["gflops"] > 0
+
+
+def test_fig5_table(benchmark):
+    from repro.bench.figures import fig5_cholesky
+    table = run_once(benchmark, fig5_cholesky, nranks_list=(1, 4, 16),
+                     base_tiles=8)
+    print()
+    print(table)
+    # Paper shape: NA leads MP, which leads the One Sided ring protocol,
+    # and the NA advantage grows with scale.
+    for row in table.rows[1:]:
+        assert row[4] > row[2] > row[3]
+    assert table.rows[-1][5] >= table.rows[1][5] * 0.95

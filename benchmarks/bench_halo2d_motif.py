@@ -1,0 +1,25 @@
+"""The introduction's halo-exchange motif: 2D Jacobi with typed halos."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.halo2d import HALO2D_MODES, run_halo2d
+
+
+@pytest.mark.parametrize("mode", HALO2D_MODES)
+def test_halo2d_point(benchmark, mode):
+    r = run_once(benchmark, run_halo2d, mode, 4, g=64, iters=6)
+    assert r["mlups"] > 0
+
+
+def test_halo2d_comparison(benchmark):
+    def sweep():
+        return {m: run_halo2d(m, 9, g=96, iters=6)["mlups"]
+                for m in HALO2D_MODES}
+
+    perf = run_once(benchmark, sweep)
+    print()
+    print("2D Jacobi halo exchange, 9 ranks, 96x96 grid (MLUP/s): "
+          + ", ".join(f"{m}={v:.1f}" for m, v in perf.items()))
+    # Counting notifications win the per-iteration neighbourhood sync.
+    assert perf["na"] > perf["mp"] > perf["pscw"]

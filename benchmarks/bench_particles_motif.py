@@ -1,0 +1,28 @@
+"""§VI-B motif: dynamic producer sets and termination cost scaling."""
+
+from benchmarks.conftest import run_once
+from repro.apps.particles import run_particles
+
+
+def test_particles_termination_scaling(benchmark):
+    def sweep():
+        out = {}
+        for p in (2, 4, 8, 16):
+            out[p] = {
+                "mp": run_particles("mp", p, per_rank=40,
+                                    steps=6)["time_us"],
+                "na": run_particles("na", p, per_rank=40,
+                                    steps=6)["time_us"],
+            }
+        return out
+
+    times = run_once(benchmark, sweep)
+    print()
+    print("dynamic particle exchange, 6 steps (us):")
+    for p, v in times.items():
+        print(f"  P={p:3d}  MP(allreduce termination)={v['mp']:7.1f}  "
+              f"NA(p2p notifications)={v['na']:7.1f}")
+    # NA stays flat; MP's global termination grows with P.
+    assert times[16]["na"] < times[2]["na"] * 1.5
+    assert times[16]["mp"] > times[2]["mp"] * 1.5
+    assert times[16]["na"] < times[16]["mp"]

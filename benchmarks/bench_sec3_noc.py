@@ -1,0 +1,50 @@
+"""§III-A: Notified Access on a future large-scale on-chip network.
+
+The paper conjectures NA "may also be a viable interface for future
+large-scale on-chip networks where transfer pipelining becomes a must and
+synchronization has a higher relative cost."  The ``noc_params`` preset
+(nanosecond latencies, lean software) tests that conjecture on the same
+protocol implementations.
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps.pingpong import run_pingpong
+from repro.apps.stencil import run_stencil
+from repro.cluster import ClusterConfig
+from repro.network.loggp import noc_params
+
+
+def test_noc_pingpong_ordering(benchmark):
+    def sweep():
+        out = {}
+        for mode in ("mp", "na", "onesided_pscw", "raw"):
+            cfg = ClusterConfig(nranks=2, params=noc_params())
+            out[mode] = run_pingpong(mode, 64, iters=15,
+                                     config=cfg)["half_rtt_us"] * 1000
+        return out
+
+    ns = run_once(benchmark, sweep)
+    print()
+    print("on-chip 64B ping-pong (ns): "
+          + ", ".join(f"{m}={v:.0f}" for m, v in ns.items()))
+    assert ns["na"] < ns["mp"] < ns["onesided_pscw"]
+    assert ns["raw"] <= ns["na"]
+
+
+def test_noc_stencil_na_advantage_persists(benchmark):
+    """The producer-consumer advantage carries over: relative software
+    overheads dominate even harder at nanosecond latencies."""
+    def sweep():
+        out = {}
+        for mode in ("mp", "na"):
+            cfg = ClusterConfig(nranks=8, params=noc_params(),
+                                flops_per_us=8000.0)
+            out[mode] = run_stencil(mode, 8, rows=200, cols=1280,
+                                    config=cfg)["gmops"]
+        return out
+
+    gm = run_once(benchmark, sweep)
+    print()
+    print(f"on-chip stencil GMOPS: mp={gm['mp']:.1f} na={gm['na']:.1f} "
+          f"(NA/MP={gm['na'] / gm['mp']:.2f})")
+    assert gm["na"] > gm["mp"]

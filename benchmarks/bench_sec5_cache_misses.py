@@ -1,0 +1,52 @@
+"""§V: matching-path cache misses and §V-A call costs."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cluster import run_ranks
+
+
+def test_sec5_cache_miss_table(benchmark):
+    from repro.bench.figures import sec5_cache_misses
+    table = run_once(benchmark, sec5_cache_misses)
+    print()
+    print(table)
+    cold = table.rows[0]
+    assert cold[3] <= 2            # total misses, the paper's bound
+
+
+def test_sec5_call_costs(benchmark):
+    """Reproduce the §V-A call-cost model: t_init, t_free, t_start, and
+    the notified-access issue cost t_na."""
+    def measure():
+        out = {}
+
+        def prog(ctx):
+            import numpy as np
+            win = yield from ctx.win_allocate(64)
+            t0 = ctx.now
+            req = yield from ctx.na.notify_init(win)
+            out["t_init"] = ctx.now - t0
+            t0 = ctx.now
+            yield from ctx.na.start(req)
+            out["t_start"] = ctx.now - t0
+            t0 = ctx.now
+            yield from ctx.na.put_notify(win, np.zeros(1), 0, 0, tag=0)
+            out["t_na"] = ctx.now - t0
+            yield from ctx.na.wait(req)
+            t0 = ctx.now
+            yield from ctx.na.request_free(req)
+            out["t_free"] = ctx.now - t0
+            return None
+
+        run_ranks(1, prog)
+        return out
+
+    costs = run_once(benchmark, measure)
+    print()
+    print("Section V-A call costs (us): "
+          + ", ".join(f"{k}={v:.3f}" for k, v in sorted(costs.items())))
+    assert costs["t_init"] == pytest.approx(0.07)
+    assert costs["t_free"] == pytest.approx(0.04)
+    assert costs["t_start"] == pytest.approx(0.008)
+    assert costs["t_na"] >= 0.29        # o_send plus engine occupancy

@@ -1,0 +1,138 @@
+"""§VII: the three notification mechanisms head to head.
+
+The paper's related-work taxonomy: *counting* identifiers scale but carry
+no value; *overwriting* identifiers carry a value but need one register per
+expected notification and lose updates; the paper's *queueing* design
+carries values, preserves arrival order, and needs no per-producer slots.
+
+Workload: P producers each deliver M notifications with unpredictable
+delays; the consumer must identify every one.  Queueing uses a single
+wildcard request; overwriting needs P*M registers (one per expected
+notification, to be collision-free); counting needs one counter per
+producer and still cannot say *which* message arrived.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.cluster import run_ranks
+
+NPRODUCERS = 4
+MSGS_EACH = 8
+
+
+def _producer_delay(ctx, i):
+    return (ctx.rank * 7 + i * 13) % 20 + 1.0
+
+
+#: time by which every notification has surely landed (µs)
+SETTLE = 200.0
+
+
+def _queueing() -> float:
+    """Consumer CPU time per identified notification, queueing (NA)."""
+    def prog(ctx):
+        win = yield from ctx.win_allocate(256)
+        if ctx.rank == 0:
+            req = yield from ctx.na.notify_init(win)
+            yield from ctx.barrier()
+            yield ctx.timeout(SETTLE)        # everything has arrived
+            seen = []
+            t0 = ctx.now
+            for _ in range(NPRODUCERS * MSGS_EACH):
+                yield from ctx.na.start(req)
+                st = yield from ctx.na.wait(req)
+                seen.append((st.source, st.tag))
+            t_cpu = ctx.now - t0
+            assert len(set(seen)) == NPRODUCERS * MSGS_EACH
+            return t_cpu / len(seen)
+        yield from ctx.barrier()
+        for i in range(MSGS_EACH):
+            yield ctx.timeout(_producer_delay(ctx, i))
+            yield from ctx.na.put_notify(win, np.zeros(1), 0, 0, tag=i)
+        return None
+
+    results, _ = run_ranks(NPRODUCERS + 1, prog)
+    return results[0]
+
+
+def _overwriting() -> float:
+    """Same workload with one register per expected notification."""
+    nregs = NPRODUCERS * MSGS_EACH
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(256)
+        if ctx.rank == 0:
+            space = yield from ctx.gaspi.notification_init(win, num=nregs)
+            yield from ctx.barrier()
+            yield ctx.timeout(SETTLE)
+            seen = set()
+            t0 = ctx.now
+            for _ in range(nregs):
+                slot, value = yield from ctx.gaspi.waitsome(space)
+                seen.add(slot)
+            t_cpu = ctx.now - t0
+            assert len(seen) == nregs and space.overwrites == 0
+            return t_cpu / nregs
+        yield from ctx.barrier()
+        for i in range(MSGS_EACH):
+            yield ctx.timeout(_producer_delay(ctx, i))
+            slot = (ctx.rank - 1) * MSGS_EACH + i
+            yield from ctx.gaspi.write_notify(win, np.zeros(1), 0, 0,
+                                              slot=slot, value=i + 1)
+        return None
+
+    results, _ = run_ranks(NPRODUCERS + 1, prog)
+    return results[0]
+
+
+def _counting() -> float:
+    """Counters identify the producer (one per source) but not the message."""
+    def prog(ctx):
+        win = yield from ctx.win_allocate(256)
+        if ctx.rank == 0:
+            reqs = []
+            for p in range(1, NPRODUCERS + 1):
+                r = yield from ctx.counters.counter_init(
+                    win, source=p, tag=p, expected_count=1)
+                reqs.append(r)
+            yield from ctx.barrier()
+            yield ctx.timeout(SETTLE)
+            t0 = ctx.now
+            for _ in range(MSGS_EACH):
+                for r in reqs:
+                    yield from ctx.counters.start(r)
+                for r in reqs:
+                    yield from ctx.counters.wait(r)
+            t_cpu = ctx.now - t0
+            return t_cpu / (NPRODUCERS * MSGS_EACH)
+        yield from ctx.barrier()
+        for i in range(MSGS_EACH):
+            yield ctx.timeout(_producer_delay(ctx, i))
+            yield from ctx.counters.put_counted(win, np.zeros(1), 0, 0,
+                                                tag=ctx.rank)
+        return None
+
+    results, _ = run_ranks(NPRODUCERS + 1, prog)
+    return results[0]
+
+
+def test_mechanism_comparison(benchmark):
+    def sweep():
+        return {"queueing": _queueing(), "overwriting": _overwriting(),
+                "counting": _counting()}
+
+    res = run_once(benchmark, sweep)
+    print()
+    print("consumer cost per identified notification (us):")
+    print(f"  queueing (NA):     {res['queueing']:.3f}  "
+          "(value + arrival order, no slot setup)")
+    print(f"  overwriting/GASPI: {res['overwriting']:.3f}  "
+          f"(needs {NPRODUCERS * MSGS_EACH} registers, loses order)")
+    print(f"  counting:          {res['counting']:.3f}  "
+          "(no message identity at all)")
+    # The paper's argument: queueing stays competitive with the cheapest
+    # mechanism while offering strictly more semantics.
+    assert res["queueing"] < 3 * res["counting"] + 0.2
+    # Overwriting pays register scans once many registers are armed.
+    assert res["overwriting"] > res["counting"]

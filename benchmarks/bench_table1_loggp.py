@@ -1,0 +1,16 @@
+"""Table I: LogGP parameters recovered by calibration."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+
+
+def test_table1(benchmark):
+    from repro.bench.figures import table1_loggp
+    table = run_once(benchmark, table1_loggp, iters=15)
+    print()
+    print(table)
+    for row in table.rows:
+        _, l_fit, l_paper, g_fit, g_paper = row
+        assert l_fit == pytest.approx(l_paper, rel=0.05)
+        assert g_fit == pytest.approx(g_paper, rel=0.05)

@@ -1,0 +1,16 @@
+"""Benchmark-suite helpers.
+
+Every benchmark wraps a simulation driver with ``benchmark.pedantic`` at one
+round (the simulator is deterministic, so repeated rounds only measure
+Python overhead), asserts the paper's shape claim on the result, and prints
+the regenerated series so ``pytest benchmarks/ --benchmark-only`` output
+doubles as the reproduction record.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Task-based Cholesky factorization with dataflow notifications (§VI-C).
+
+Tiles are broadcast along a binary tree as soon as they are produced;
+consumers cannot predict what arrives next.  With Notified Access a single
+wildcard request delivers both the data *and* its identity (the tile index
+travels in the tag) — where classic One Sided needs a ring buffer, a remote
+counter, and an extra coordinate message.
+
+Runs all three variants with real numerics (verified against
+``numpy.linalg.cholesky``) and prints the Figure 5 comparison.
+
+Run:  python examples/cholesky_tasks.py
+"""
+
+from repro.apps.cholesky import CHOLESKY_MODES, run_cholesky
+
+P = 4
+NTILES = 8
+B = 16          # small tiles so the verified numerics stay fast
+
+
+def main():
+    print(f"Tiled Cholesky: {NTILES}x{NTILES} tiles of {B}x{B} doubles "
+          f"over {P} ranks (verified numerics)\n")
+    print(f"{'variant':10s} {'time_us':>9s} {'GFlop/s':>9s}  check")
+    results = {}
+    for mode in CHOLESKY_MODES:
+        r = run_cholesky(mode, P, ntiles=NTILES, b=B, verify=True)
+        results[mode] = r
+        print(f"{mode:10s} {r['time_us']:9.1f} {r['gflops']:9.2f}  "
+              f"{'L matches numpy.linalg.cholesky' if r['verified'] else 'FAILED'}")
+    speedup = results["mp"]["time_us"] / results["na"]["time_us"]
+    print(f"\nNotified Access is {speedup:.2f}x Message Passing on this "
+          f"dependency graph")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: a producer-consumer handoff with Notified Access.
+
+Runs the paper's core primitive end to end on the simulated fabric: the
+producer issues a single ``put_notify`` (one network transaction) and the
+consumer synchronizes through a persistent notification request matched on
+``(source, tag)`` — no extra round trip, unlike classic One Sided schemes.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import run_ranks
+
+TAG = 7
+N = 128
+
+
+def program(ctx):
+    # Windows are allocated collectively, like MPI_Win_allocate.
+    win = yield from ctx.win_allocate(N * 8)
+
+    if ctx.rank == 0:
+        # ---- producer ----------------------------------------------------
+        payload = np.arange(N, dtype=np.float64)
+        yield from ctx.na.put_notify(win, payload, target=1,
+                                     target_disp=0, tag=TAG)
+        # flush_local: the source buffer is reusable; the *target* learns
+        # about completion from the notification itself.
+        yield from win.flush_local(1)
+        return f"producer done at t={ctx.now:.2f}us"
+
+    # ---- consumer ---------------------------------------------------------
+    # One persistent request: init once, start/wait per message (§III-B).
+    req = yield from ctx.na.notify_init(win, source=0, tag=TAG,
+                                        expected_count=1)
+    yield from ctx.na.start(req)
+    status = yield from ctx.na.wait(req)
+
+    received = win.local(np.float64, count=N)
+    assert np.allclose(received, np.arange(N))
+    yield from ctx.na.request_free(req)
+    return (f"consumer got {status.count} bytes from rank "
+            f"{status.source} (tag {status.tag}) at t={ctx.now:.2f}us")
+
+
+def main():
+    results, cluster = run_ranks(2, program)
+    for rank, msg in enumerate(results):
+        print(f"rank {rank}: {msg}")
+    stats = cluster.stats()
+    print(f"wire transactions: {stats['wire_transactions']} "
+          f"(2 window-setup barrier messages + 1 notified put — the data "
+          f"transfer carries its own notification)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — a full reproduction of *Notified Access* (Belli & Hoefler, IPDPS 2015).
+
+The package implements, in pure Python over a deterministic discrete-event
+simulation:
+
+* ``repro.sim`` — the discrete-event simulation kernel,
+* ``repro.memory`` — address spaces, allocators, and a cache-line model,
+* ``repro.network`` — LogGP network, NICs (uGNI-like FMA/BTE), completion
+  queues, and an XPMEM-like shared-memory transport,
+* ``repro.mpi`` — a message-passing runtime (eager/rendezvous, matching,
+  collectives),
+* ``repro.rma`` — MPI-3 One Sided windows and synchronization (fence, PSCW,
+  flush, lock/unlock),
+* ``repro.core`` — the paper's contribution: *Notified Access* with
+  ``<source, tag>`` matched, counted notifications,
+* ``repro.models`` — closed-form LogGP performance models and calibration,
+* ``repro.apps`` — the paper's applications (ping-pong, overlap, pipelined
+  stencil, reduction tree, task-based Cholesky),
+* ``repro.bench`` — the experiment harness regenerating every figure/table.
+
+Quickstart::
+
+    from repro import Cluster, run_ranks
+
+    # see examples/quickstart.py for a complete producer-consumer program
+"""
+
+from repro._version import __version__
+from repro.cluster import Cluster, ClusterConfig, Rank, run_ranks
+from repro.errors import (
+    ReproError,
+    SimulationError,
+    RmaEpochError,
+    MatchingError,
+    AllocationError,
+)
+
+__all__ = [
+    "__version__",
+    "Cluster",
+    "ClusterConfig",
+    "Rank",
+    "run_ranks",
+    "ReproError",
+    "SimulationError",
+    "RmaEpochError",
+    "MatchingError",
+    "AllocationError",
+]

@@ -1,0 +1,42 @@
+"""The paper's application case studies (§V–§VI).
+
+* :mod:`repro.apps.pingpong` — latency/bandwidth microbenchmark, Figure 3.
+* :mod:`repro.apps.overlap` — computation/communication overlap, Figure 4a.
+* :mod:`repro.apps.stencil` — PRK Sync_p2p pipelined stencil, Figures 1/4b.
+* :mod:`repro.apps.tree` — 16-ary reduction tree, Figure 4c.
+* :mod:`repro.apps.cholesky` — task-based tiled Cholesky, Figure 5.
+* :mod:`repro.apps.halo2d` — 2D Jacobi halo exchange (the introduction's
+  halo motif; exercises derived datatypes and counting notifications).
+* :mod:`repro.apps.particles` — dynamic particle exchange (§VI-B's dynamic
+  applications: nondeterministic producer sets, point-to-point termination
+  via notifications instead of a global allreduce).
+
+Each module exposes ``run_*`` driver functions returning plain dictionaries
+of metrics in simulated microseconds, plus the rank programs themselves for
+reuse and testing.
+"""
+
+from repro.apps.pingpong import run_pingpong, PINGPONG_MODES
+from repro.apps.overlap import run_overlap, OVERLAP_MODES
+from repro.apps.stencil import run_stencil, STENCIL_MODES
+from repro.apps.tree import run_tree_reduction, TREE_MODES
+from repro.apps.cholesky import run_cholesky, CHOLESKY_MODES
+from repro.apps.halo2d import run_halo2d, HALO2D_MODES
+from repro.apps.particles import run_particles, PARTICLE_MODES
+
+__all__ = [
+    "run_pingpong",
+    "PINGPONG_MODES",
+    "run_overlap",
+    "OVERLAP_MODES",
+    "run_stencil",
+    "STENCIL_MODES",
+    "run_tree_reduction",
+    "TREE_MODES",
+    "run_cholesky",
+    "CHOLESKY_MODES",
+    "run_halo2d",
+    "HALO2D_MODES",
+    "run_particles",
+    "PARTICLE_MODES",
+]

@@ -1,0 +1,36 @@
+"""Task-based tiled Cholesky factorization — Figure 5 of the paper (§VI-C).
+
+A right-looking tiled Cholesky on a 1D block-cyclic column distribution.
+After the owner of column ``k`` factors the panel (POTRF + TRSMs), every
+panel tile is broadcast along a **binary tree overlay** rooted at the owner;
+"as soon as a node receives an update, it forwards the update to its
+children".  Consumers cannot predict which tile arrives next — the matching
+problem the three variants solve differently:
+
+* ``mp`` — MPI_Probe + MPI_Recv, the tile index coded in the tag,
+* ``onesided`` — put of the tile, fetch&op on a remote ring-buffer counter,
+  flush, then a put of the tile coordinate (the paper's excerpt), with the
+  consumer polling the ring,
+* ``na`` — a single ``put_notify`` with the tile index in the tag; the
+  consumer waits on one wildcard (ANY_SOURCE, ANY_TAG) request and reads
+  the index from the returned status.
+"""
+
+from repro.apps.cholesky.driver import run_cholesky, CHOLESKY_MODES
+from repro.apps.cholesky.kernels import (potrf, trsm, gemm_update,
+                                         syrk_update, FLOPS)
+from repro.apps.cholesky.matrix import TileMatrix
+from repro.apps.cholesky.bcast_tree import tree_children, tree_parent
+
+__all__ = [
+    "run_cholesky",
+    "CHOLESKY_MODES",
+    "potrf",
+    "trsm",
+    "gemm_update",
+    "syrk_update",
+    "FLOPS",
+    "TileMatrix",
+    "tree_children",
+    "tree_parent",
+]

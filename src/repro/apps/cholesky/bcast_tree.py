@@ -1,0 +1,21 @@
+"""Binary-tree broadcast overlay, re-rooted per panel owner."""
+
+from __future__ import annotations
+
+
+def tree_children(rank: int, root: int, size: int) -> list[int]:
+    """Children of ``rank`` in a binary tree rooted at ``root``."""
+    v = (rank - root) % size
+    out = []
+    for c in (2 * v + 1, 2 * v + 2):
+        if c < size:
+            out.append((c + root) % size)
+    return out
+
+
+def tree_parent(rank: int, root: int, size: int) -> int | None:
+    """Parent of ``rank`` in the same tree, None for the root."""
+    v = (rank - root) % size
+    if v == 0:
+        return None
+    return ((v - 1) // 2 + root) % size

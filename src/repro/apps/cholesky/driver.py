@@ -1,0 +1,235 @@
+"""The distributed Cholesky driver: one program per communication variant.
+
+Every rank processes panels ``k = 0..T-1`` in order (the static pipelined
+schedule of Kurzak et al. [14]).  The owner factors the panel and broadcasts
+the tiles down a binary tree; every other rank receives tiles **in whatever
+order they arrive**, forwards each to its tree children, and applies the
+trailing update to its local columns once the panel is complete.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.cholesky.bcast_tree import tree_children
+from repro.apps.cholesky.kernels import (flops_gemm, flops_potrf,
+                                         flops_syrk, flops_trsm, potrf,
+                                         syrk_update, total_flops, trsm,
+                                         gemm_update)
+from repro.apps.cholesky.matrix import TileMatrix
+from repro.cluster import ClusterConfig, run_ranks
+from repro.errors import ReproError
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+
+CHOLESKY_MODES = ("mp", "onesided", "na")
+
+#: ring-poll backoff of the One Sided consumer, µs
+POLL_US = 0.3
+
+
+def _tile_id(i: int, k: int, ntiles: int) -> int:
+    return k * ntiles + i
+
+
+def _tile_coords(tid: int, ntiles: int) -> tuple[int, int]:
+    return tid % ntiles, tid // ntiles
+
+
+def _cholesky_program(ctx, mode: str, ntiles: int, b: int, verify: bool,
+                      seed: int, variant: str = "right"):
+    rank, size = ctx.rank, ctx.size
+    tm = TileMatrix(ntiles, b, rank, size, materialize=verify, seed=seed)
+    tile_bytes = b * b * 8
+    nslots = ntiles * ntiles
+    zeros = np.zeros((b, b))
+    cfg = ctx.cluster.cfg
+
+    # --- communication state ------------------------------------------------
+    win = notif_win = None
+    wildcard_req = None
+    ring_next = 0
+    if mode in ("na", "onesided"):
+        win = yield from ctx.win_allocate(nslots * tile_bytes)
+        if mode == "na":
+            wildcard_req = yield from ctx.na.notify_init(
+                win, source=ANY_SOURCE, tag=ANY_TAG, expected_count=1)
+        else:
+            notif_win = yield from ctx.win_allocate(8 * (nslots + 1))
+            yield from win.lock_all()
+            yield from notif_win.lock_all()
+
+    #: panel tiles visible to this rank: (i, k) -> ndarray (or True)
+    panel_store: dict[tuple[int, int], object] = {}
+    received_count = [0] * ntiles
+    scratch = np.zeros((b, b))
+
+    def panel_tile(i: int, k: int) -> np.ndarray:
+        t = panel_store[(i, k)]
+        assert isinstance(t, np.ndarray)
+        return t
+
+    # --- send/forward one tile to this rank's tree children -----------------
+    def forward(i: int, k: int, data: np.ndarray):
+        root = k % size
+        tid = _tile_id(i, k, ntiles)
+        for child in tree_children(rank, root, size):
+            if mode == "mp":
+                yield from ctx.comm.send(data, child, tag=tid)
+            elif mode == "na":
+                yield from ctx.na.put_notify(win, data, child,
+                                             tid * tile_bytes, tag=tid)
+                yield from win.flush_local(child)
+            else:  # onesided ring-buffer protocol (the paper's excerpt)
+                yield from win.put(data, child, tid * tile_bytes)
+                dest = yield from notif_win.fetch_and_op(1, child, 0, "sum")
+                yield from win.flush(child)
+                yield from notif_win.put(
+                    np.array([tid + 1], dtype=np.int64), child,
+                    8 * (1 + dest))
+                yield from notif_win.flush_local(child)
+
+    # --- receive any one tile (unpredictable order), store it ---------------
+    def receive_any():
+        nonlocal ring_next
+        if mode == "mp":
+            st = yield from ctx.comm.probe(ANY_SOURCE, ANY_TAG)
+            buf = np.zeros((b, b)) if verify else scratch
+            st = yield from ctx.comm.recv(buf, st.source, st.tag)
+            i, k = _tile_coords(st.tag, ntiles)
+            data = buf
+        elif mode == "na":
+            yield from ctx.na.start(wildcard_req)
+            st = yield from ctx.na.wait(wildcard_req)
+            i, k = _tile_coords(st.tag, ntiles)
+            tid = st.tag
+            view = win.local(np.float64,
+                             offset=tid * tile_bytes,
+                             count=b * b).reshape(b, b)
+            data = view.copy() if verify else scratch
+        else:  # onesided: poll the notification ring
+            ring = notif_win.local(np.int64)
+            while ring[1 + ring_next] == 0:
+                yield ctx.timeout(POLL_US)
+            tid = int(ring[1 + ring_next]) - 1
+            ring_next += 1
+            i, k = _tile_coords(tid, ntiles)
+            view = win.local(np.float64,
+                             offset=tid * tile_bytes,
+                             count=b * b).reshape(b, b)
+            data = view.copy() if verify else scratch
+        panel_store[(i, k)] = data if verify else zeros
+        received_count[k] += 1
+        yield from forward(i, k, data if verify else zeros)
+
+    # --- main factorization loop ---------------------------------------------
+    yield from ctx.barrier()
+    t0 = ctx.now
+
+    for k in range(ntiles):
+        owner = k % size
+        if owner == rank:
+            if variant == "left":
+                # Left-looking (Kurzak et al. [14], as the paper uses):
+                # all updates from earlier panels are applied to column k
+                # now, just before its factorization.
+                for j in range(k):
+                    ljk_ = panel_store[(k, j)]
+                    yield from ctx.compute_flops(flops_syrk(b))
+                    if verify:
+                        syrk_update(tm.get(k, k), ljk_)  # type: ignore[arg-type]
+                    for i in range(k + 1, ntiles):
+                        yield from ctx.compute_flops(flops_gemm(b))
+                        if verify:
+                            gemm_update(tm.get(i, k),
+                                        panel_store[(i, j)],  # type: ignore[arg-type]
+                                        ljk_)  # type: ignore[arg-type]
+            # Factor the panel: POTRF then TRSMs.
+            yield from ctx.compute_flops(flops_potrf(b))
+            if verify:
+                potrf(tm.get(k, k))
+            panel_store[(k, k)] = tm.get(k, k) if verify else zeros
+            for i in range(k + 1, ntiles):
+                yield from ctx.compute_flops(flops_trsm(b))
+                if verify:
+                    trsm(tm.get(k, k), tm.get(i, k))
+                panel_store[(i, k)] = tm.get(i, k) if verify else zeros
+            # Broadcast every panel tile down the tree.
+            if size > 1:
+                for i in range(k, ntiles):
+                    data = panel_tile(i, k) if verify else zeros
+                    yield from forward(i, k, data)
+        else:
+            while received_count[k] < ntiles - k:
+                yield from receive_any()
+        if variant == "right":
+            # Right-looking: apply panel k eagerly to local columns j > k.
+            for j in tm.local_columns():
+                if j <= k:
+                    continue
+                ljk = panel_store[(j, k)]
+                yield from ctx.compute_flops(flops_syrk(b))
+                if verify:
+                    syrk_update(tm.get(j, j), ljk)  # type: ignore[arg-type]
+                for i in range(j + 1, ntiles):
+                    yield from ctx.compute_flops(flops_gemm(b))
+                    if verify:
+                        gemm_update(tm.get(i, j),
+                                    panel_store[(i, k)],  # type: ignore[arg-type]
+                                    ljk)  # type: ignore[arg-type]
+
+    elapsed = ctx.now - t0
+    if mode == "onesided":
+        yield from win.unlock_all()
+        yield from notif_win.unlock_all()
+    if mode == "na":
+        yield from ctx.na.request_free(wildcard_req)
+    yield from ctx.barrier()
+
+    ok = True
+    if verify:
+        ok = tm.check_against(tm.reference_lower(seed=seed))
+    return (elapsed, ok)
+
+
+def run_cholesky(mode: str, nranks: int, ntiles: int, b: int = 32,
+                 verify: bool = False, seed: int = 7,
+                 variant: str = "right",
+                 config: Optional[ClusterConfig] = None) -> dict:
+    """Run the tiled Cholesky; returns timing and GFlop/s metrics.
+
+    ``variant`` selects the update schedule: ``"right"`` (eager trailing
+    updates) or ``"left"`` (the deferred schedule of Kurzak et al. that the
+    paper names).  Both exchange the identical panel broadcasts.
+    """
+    if mode not in CHOLESKY_MODES:
+        raise ReproError(f"unknown cholesky mode {mode!r}; "
+                         f"choose from {CHOLESKY_MODES}")
+    if variant not in ("right", "left"):
+        raise ReproError(f"unknown variant {variant!r}")
+    if ntiles < 1 or ntiles > 255:
+        raise ReproError("ntiles must be in [1, 255] (tag encoding)")
+    if config is None:
+        config = ClusterConfig(nranks=nranks)
+    results, cluster = run_ranks(
+        nranks,
+        lambda ctx: _cholesky_program(ctx, mode, ntiles, b, verify, seed,
+                                      variant),
+        config=config)
+    elapsed = max(r[0] for r in results)
+    ok = all(r[1] for r in results)
+    if verify and not ok:
+        raise ReproError("factorization does not match the serial reference")
+    flops = total_flops(ntiles, b)
+    return {
+        "mode": mode,
+        "variant": variant,
+        "nranks": nranks,
+        "ntiles": ntiles,
+        "tile_b": b,
+        "tile_bytes": b * b * 8,
+        "time_us": elapsed,
+        "gflops": flops / (elapsed * 1000.0) if elapsed else 0.0,
+        "verified": ok if verify else None,
+    }

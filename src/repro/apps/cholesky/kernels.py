@@ -1,0 +1,76 @@
+"""Tile kernels (DPOTRF, DTRSM, DGEMM, DSYRK) and their flop counts.
+
+The numeric kernels run on real NumPy tiles when verification is on; the
+flop counts drive the simulated compute time either way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def flops_potrf(b: int) -> float:
+    return b ** 3 / 3.0
+
+
+def flops_trsm(b: int) -> float:
+    return b ** 3
+
+
+def flops_gemm(b: int) -> float:
+    return 2.0 * b ** 3
+
+
+def flops_syrk(b: int) -> float:
+    return float(b ** 3)
+
+
+FLOPS = {
+    "potrf": flops_potrf,
+    "trsm": flops_trsm,
+    "gemm": flops_gemm,
+    "syrk": flops_syrk,
+}
+
+
+def potrf(tile: np.ndarray) -> np.ndarray:
+    """In-place lower Cholesky of a diagonal tile."""
+    try:
+        tile[:] = np.linalg.cholesky(tile)
+    except np.linalg.LinAlgError as exc:
+        raise ReproError(f"diagonal tile not positive definite: {exc}")
+    return tile
+
+
+def trsm(lkk: np.ndarray, tile: np.ndarray) -> np.ndarray:
+    """In-place ``tile <- tile @ inv(L_kk)^T`` (right-side TRSM)."""
+    # Solve X L^T = A  =>  L X^T = A^T.
+    tile[:] = np.linalg.solve(lkk, tile.T).T
+    return tile
+
+
+def gemm_update(aij: np.ndarray, lik: np.ndarray,
+                ljk: np.ndarray) -> np.ndarray:
+    """``A_ij -= L_ik @ L_jk^T`` (off-diagonal trailing update)."""
+    aij -= lik @ ljk.T
+    return aij
+
+
+def syrk_update(ajj: np.ndarray, ljk: np.ndarray) -> np.ndarray:
+    """``A_jj -= L_jk @ L_jk^T`` (diagonal trailing update)."""
+    ajj -= ljk @ ljk.T
+    return ajj
+
+
+def total_flops(ntiles: int, b: int) -> float:
+    """Total factorization flops of a ``ntiles × ntiles`` tile matrix."""
+    total = 0.0
+    for k in range(ntiles):
+        total += flops_potrf(b)
+        total += (ntiles - k - 1) * flops_trsm(b)
+        for j in range(k + 1, ntiles):
+            total += flops_syrk(b)
+            total += (ntiles - j - 1) * flops_gemm(b)
+    return total

@@ -1,0 +1,71 @@
+"""Deterministic SPD test matrices, tiled, with a serial reference."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def make_spd(n: int, seed: int = 7) -> np.ndarray:
+    """A reproducible symmetric positive-definite matrix."""
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal((n, n))
+    return b @ b.T + n * np.eye(n)
+
+
+class TileMatrix:
+    """The lower-triangular tiles of one rank's columns.
+
+    ``owner(j) = j % nranks`` (1D block-cyclic).  With ``materialize=False``
+    only the tile *shapes* exist — the timing-model path, where no numerics
+    run.
+    """
+
+    def __init__(self, ntiles: int, b: int, rank: int, nranks: int,
+                 materialize: bool = True, seed: int = 7):
+        self.ntiles = ntiles
+        self.b = b
+        self.rank = rank
+        self.nranks = nranks
+        self.materialized = materialize
+        self.tiles: dict[tuple[int, int], Optional[np.ndarray]] = {}
+        full = make_spd(ntiles * b, seed=seed) if materialize else None
+        for j in range(ntiles):
+            if j % nranks != rank:
+                continue
+            for i in range(j, ntiles):
+                if materialize:
+                    self.tiles[(i, j)] = np.ascontiguousarray(
+                        full[i * b:(i + 1) * b, j * b:(j + 1) * b])
+                else:
+                    self.tiles[(i, j)] = None
+
+    def owner(self, j: int) -> int:
+        return j % self.nranks
+
+    def mine(self, j: int) -> bool:
+        return j % self.nranks == self.rank
+
+    def local_columns(self) -> list[int]:
+        return [j for j in range(self.ntiles) if self.mine(j)]
+
+    def get(self, i: int, j: int) -> np.ndarray:
+        tile = self.tiles[(i, j)]
+        assert tile is not None, "tile access in non-materialized mode"
+        return tile
+
+    def reference_lower(self, seed: int = 7) -> np.ndarray:
+        """Serial Cholesky factor of the same matrix."""
+        return np.linalg.cholesky(make_spd(self.ntiles * self.b, seed=seed))
+
+    def check_against(self, ref_l: np.ndarray, atol: float = 1e-8) -> bool:
+        """Compare this rank's factored tiles against the reference."""
+        if not self.materialized:
+            return True
+        b = self.b
+        for (i, j), tile in self.tiles.items():
+            want = ref_l[i * b:(i + 1) * b, j * b:(j + 1) * b]
+            if not np.allclose(tile, want, atol=atol):
+                return False
+        return True

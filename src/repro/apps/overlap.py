@@ -1,0 +1,131 @@
+"""Computation/communication overlap benchmark — Figure 4a.
+
+For each payload size the benchmark
+
+1. measures the pure communication time ``t_comm`` (init + completion with
+   no intervening computation),
+2. calibrates a computation block to ``overwork × t_comm`` (slightly more
+   than the communication, as the paper does),
+3. re-measures with the computation placed between initiation
+   (``MPI_Isend`` / ``MPI_Put`` / ``MPI_Put_notify``) and completion
+   (``MPI_Wait`` / fence / flush),
+
+and reports ``overlap = (t_comm + t_comp - t_total) / t_comm`` clamped to
+[0, 1]: the share of the communication hidden behind the computation.
+
+Modes: ``mp`` (Isend/Wait), ``onesided_fence`` (Put/fence),
+``onesided_flush`` (Put/flush), ``na`` (Put_notify/flush).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import ClusterConfig, run_ranks
+from repro.errors import ReproError
+
+OVERLAP_MODES = ("mp", "onesided_fence", "onesided_flush", "na")
+
+_TAG = 17
+
+
+def _overlap_program(ctx, mode: str, size_bytes: int, iters: int,
+                     overwork: float):
+    """Rank 0 initiates and computes; rank 1 sinks the transfers."""
+    n = size_bytes // 8
+    data = np.arange(n, dtype=np.float64)
+    win = yield from ctx.win_allocate(size_bytes)
+    if mode == "onesided_fence":
+        yield from win.fence()
+    else:
+        yield from win.lock_all()
+
+    def one_round(compute_us: float):
+        """One initiate→[compute]→complete round at the origin."""
+        if mode == "mp":
+            req = yield from ctx.comm.isend(data, 1, _TAG)
+            if compute_us:
+                yield from ctx.compute(compute_us)
+            yield from ctx.comm.wait(req)
+        elif mode == "onesided_fence":
+            yield from win.put(data, 1, 0)
+            if compute_us:
+                yield from ctx.compute(compute_us)
+            yield from win.fence()
+        elif mode == "onesided_flush":
+            yield from win.put(data, 1, 0)
+            if compute_us:
+                yield from ctx.compute(compute_us)
+            yield from win.flush(1)
+        elif mode == "na":
+            yield from ctx.na.put_notify(win, data, 1, 0, tag=_TAG)
+            if compute_us:
+                yield from ctx.compute(compute_us)
+            yield from win.flush(1)
+        else:  # pragma: no cover - guarded by run_overlap
+            raise ReproError(f"unknown overlap mode {mode!r}")
+
+    def sink_round():
+        """The target side of one round."""
+        if mode == "mp":
+            buf = np.zeros(n, dtype=np.float64)
+            yield from ctx.comm.recv(buf, 0, _TAG)
+        elif mode == "onesided_fence":
+            yield from win.fence()
+        # flush/na modes are fully passive at the target.
+
+    # Phase 1: pure communication time.
+    yield from ctx.barrier()
+    t0 = ctx.now
+    for _ in range(iters):
+        if ctx.rank == 0:
+            yield from one_round(0.0)
+        else:
+            yield from sink_round()
+    yield from ctx.barrier()
+    t_comm = (ctx.now - t0) / iters
+
+    # Phase 2: the same with calibrated computation in between.
+    t_comp = overwork * t_comm
+    yield from ctx.barrier()
+    t0 = ctx.now
+    for _ in range(iters):
+        if ctx.rank == 0:
+            yield from one_round(t_comp)
+        else:
+            yield from sink_round()
+    yield from ctx.barrier()
+    t_total = (ctx.now - t0) / iters
+
+    if mode == "onesided_fence":
+        yield from win.fence_end()
+    else:
+        yield from win.unlock_all()
+    return (t_comm, t_comp, t_total)
+
+
+def run_overlap(mode: str, size_bytes: int, iters: int = 20,
+                overwork: float = 1.1,
+                config: ClusterConfig | None = None) -> dict:
+    """Measure the overlappable share of communication for one mode/size."""
+    if mode not in OVERLAP_MODES:
+        raise ReproError(f"unknown overlap mode {mode!r}; "
+                         f"choose from {OVERLAP_MODES}")
+    if size_bytes % 8 or size_bytes <= 0:
+        raise ReproError("size_bytes must be a positive multiple of 8")
+    if config is None:
+        config = ClusterConfig(nranks=2)
+    results, _cluster = run_ranks(
+        2, lambda ctx: _overlap_program(ctx, mode, size_bytes, iters,
+                                        overwork),
+        config=config)
+    t_comm, t_comp, t_total = results[0]
+    overlap = (t_comm + t_comp - t_total) / t_comm if t_comm > 0 else 0.0
+    return {
+        "mode": mode,
+        "size_bytes": size_bytes,
+        "t_comm_us": t_comm,
+        "t_comp_us": t_comp,
+        "t_total_us": t_total,
+        "overlap_ratio": max(0.0, min(1.0, overlap)),
+    }

@@ -1,0 +1,248 @@
+"""PRK Sync_p2p pipelined stencil — Figures 1 and 4b of the paper.
+
+A ``rows × cols`` grid is decomposed column-block-wise over P ranks.  The
+3-point update ``A(i,j) = A(i-1,j) + A(i,j-1) - A(i-1,j-1)`` makes row ``i``
+of rank ``p`` depend on the last column of rank ``p-1``'s row ``i``: a
+wavefront pipeline where exactly **one double** crosses each boundary per
+row — the latency-bound, synchronization-dominated pattern the paper uses
+to showcase Notified Access.
+
+Modes
+-----
+``mp``     blocking recv → compute → send per row
+``na``     one ``put_notify`` per row into a per-row halo slot; the consumer
+           drains a single wildcard-tag request in arrival (= row) order
+``pscw``   per-row post/start/complete/wait epochs with both neighbours
+``fence``  per-row global fences; the wavefront advances one rank per round
+
+Set ``verify=True`` to run the real numerics (NumPy) alongside the timing
+model and check the global corner value against a serial reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster import ClusterConfig, run_ranks
+from repro.errors import ReproError
+
+STENCIL_MODES = ("mp", "na", "pscw", "fence")
+
+#: ring-buffer depth of the PSCW/fence halo slots
+NA_SLOTS = 4
+#: modeled memory operations per grid point (for the GMOPS metric)
+POINT_MOPS = 4
+#: modeled flops per grid point (for CPU-time charging)
+POINT_FLOPS = 4.0
+
+
+def _split(cols: int, size: int, rank: int) -> tuple[int, int]:
+    """Column range [lo, hi) of ``rank`` (block distribution)."""
+    base, rem = divmod(cols, size)
+    lo = rank * base + min(rank, rem)
+    hi = lo + base + (1 if rank < rem else 0)
+    return lo, hi
+
+
+def _serial_reference(rows: int, cols: int, iters: int) -> float:
+    """Serial PRK Sync_p2p; returns the final corner value.
+
+    Uses the telescoped form of the recurrence
+    ``A[i,j] = A[i,0] + A[i-1,j] - A[i-1,0]`` row by row.
+    """
+    a = np.zeros((rows, cols))
+    a[0, :] = np.arange(cols, dtype=np.float64)
+    a[:, 0] = np.arange(rows, dtype=np.float64)
+    for _ in range(iters):
+        for i in range(1, rows):
+            a[i, 1:] = a[i, 0] + a[i - 1, 1:] - a[i - 1, 0]
+        a[0, 0] = -a[rows - 1, cols - 1]
+    return float(a[rows - 1, cols - 1])
+
+
+class _LocalGrid:
+    """Per-rank grid state (real numerics, used when verify=True).
+
+    Because the 3-point recurrence telescopes along a row, updating the
+    local segment needs the left halo of the *current* row (received from
+    the left neighbour) and of the *previous* row (remembered from the last
+    exchange): ``A[i,j] = halo_i + A[i-1,j] - halo_{i-1}``.
+    """
+
+    def __init__(self, rows: int, lo: int, hi: int, rank: int):
+        self.rows = rows
+        self.lo, self.hi = lo, hi
+        self.a = np.zeros((rows, hi - lo))
+        self.a[0, :] = np.arange(lo, hi, dtype=np.float64)
+        if rank == 0:
+            self.a[:, 0] = np.arange(rows, dtype=np.float64)
+        # Halo of row 0 is the known top boundary value A[0, lo-1] = lo-1.
+        self.prev_left = float(lo - 1) if lo > 0 else 0.0
+
+    def begin_iteration(self) -> None:
+        """Reset the halo bookkeeping for a new sweep (row 0 is fixed)."""
+        self.prev_left = float(self.lo - 1) if self.lo > 0 else 0.0
+
+    def update_row(self, i: int, left_val: float) -> float:
+        seg = self.a[i]
+        if self.lo == 0:
+            # First column is a fixed boundary; telescope from it.
+            seg[1:] = seg[0] + self.a[i - 1, 1:] - self.a[i - 1, 0]
+        else:
+            seg[:] = left_val + self.a[i - 1, :] - self.prev_left
+            self.prev_left = left_val
+        return float(seg[-1])
+
+
+def _stencil_program(ctx, mode: str, rows: int, cols: int, iters: int,
+                     verify: bool):
+    rank, size = ctx.rank, ctx.size
+    lo, hi = _split(cols, size, rank)
+    cols_local = hi - lo
+    left = rank - 1 if rank > 0 else None
+    right = rank + 1 if rank < size - 1 else None
+    row_compute_us = cols_local * POINT_FLOPS / ctx.cluster.cfg.flops_per_us
+    grid = _LocalGrid(rows, lo, hi, rank) if verify else None
+
+    def compute_row(i: int, left_val: float) -> float:
+        """Returns the boundary value this rank sends right for row i."""
+        if grid is not None:
+            return grid.update_row(i, left_val)
+        return 0.0
+
+    # --- per-mode communication plumbing ---------------------------------
+    # NA uses one halo slot per row (the full boundary column), so no slot
+    # is reused within a sweep and no credit traffic is needed; the sweep
+    # barrier separates reuse across iterations.  PSCW/fence cycle through
+    # a small slot ring, synchronized by their own epochs.
+    win = None
+    data_req = None
+    if mode in ("pscw", "fence"):
+        win = yield from ctx.win_allocate(max(NA_SLOTS, 2) * 8)
+    elif mode == "na":
+        win = yield from ctx.win_allocate(rows * 8)
+        if left is not None:
+            # Rows arrive in order on the in-order fabric, so one wildcard
+            # request consumes them in row order; the status tag carries
+            # the row index (mod 2^16) as a cross-check.
+            from repro.mpi.constants import ANY_TAG
+            data_req = yield from ctx.na.notify_init(win, source=left,
+                                                     tag=ANY_TAG)
+
+    yield from ctx.barrier()
+    t0 = ctx.now
+
+    for it in range(iters):
+        if grid is not None:
+            grid.begin_iteration()
+        if mode in ("mp", "na", "pscw"):
+            for i in range(1, rows):
+                slot = i % NA_SLOTS
+                left_val = 0.0
+                # 1. obtain the halo value from the left neighbour
+                if left is not None:
+                    if mode == "mp":
+                        buf = np.zeros(1)
+                        yield from ctx.comm.recv(buf, left, tag=0)
+                        left_val = float(buf[0])
+                    elif mode == "na":
+                        yield from ctx.na.start(data_req)
+                        st = yield from ctx.na.wait(data_req)
+                        if st.tag != (i & 0xFFFF):
+                            raise ReproError(
+                                f"halo row mismatch: got tag {st.tag} "
+                                f"for row {i}")
+                        left_val = float(win.local(np.float64)[i])
+                    elif mode == "pscw":
+                        yield from win.post([left])
+                        yield from win.wait([left])
+                        left_val = float(win.local(np.float64)[slot])
+                # 2. compute the row segment
+                yield from ctx.compute(row_compute_us)
+                out_val = compute_row(i, left_val)
+                # 3. forward the boundary value to the right neighbour
+                if right is not None:
+                    if mode == "mp":
+                        yield from ctx.comm.send(np.array([out_val]), right,
+                                                 tag=0)
+                    elif mode == "na":
+                        yield from ctx.na.put_notify(
+                            win, np.array([out_val]), right,
+                            i * 8, tag=i & 0xFFFF)
+                        yield from win.flush_local(right)
+                    elif mode == "pscw":
+                        yield from win.start([right])
+                        yield from win.put(np.array([out_val]), right,
+                                           slot * 8)
+                        yield from win.complete()
+        elif mode == "fence":
+            # The wavefront advances one rank per global fence round.
+            yield from win.fence()
+            total_rounds = (rows - 1) + size
+            for t in range(total_rounds):
+                i = t - rank + 1
+                if 1 <= i < rows:
+                    slot = i % 2
+                    left_val = (float(win.local(np.float64)[slot])
+                                if left is not None else 0.0)
+                    yield from ctx.compute(row_compute_us)
+                    out_val = compute_row(i, left_val)
+                    if right is not None:
+                        yield from win.put(np.array([out_val]), right,
+                                           slot * 8)
+                yield from win.fence()
+            yield from win.fence_end()
+        # Iteration handoff: the PRK kernel feeds the corner value back.
+        if iters > 1 or verify:
+            corner = np.zeros(1)
+            if rank == size - 1:
+                if grid is not None:
+                    corner[0] = -grid.a[rows - 1, -1]
+                yield from ctx.comm.send(corner, 0, tag=7)
+            elif rank == 0:
+                yield from ctx.comm.recv(corner, size - 1, tag=7)
+                if grid is not None:
+                    grid.a[0, 0] = corner[0]
+            yield from ctx.barrier()
+
+    elapsed = ctx.now - t0
+    result = None
+    if grid is not None and rank == size - 1:
+        result = float(grid.a[rows - 1, -1])
+    return (elapsed, result)
+
+
+def run_stencil(mode: str, nranks: int, rows: int, cols: int,
+                iters: int = 1, verify: bool = False,
+                config: Optional[ClusterConfig] = None) -> dict:
+    """Run the pipelined stencil; returns timing and GMOPS metrics."""
+    if mode not in STENCIL_MODES:
+        raise ReproError(f"unknown stencil mode {mode!r}; "
+                         f"choose from {STENCIL_MODES}")
+    if rows < 2 or cols < nranks:
+        raise ReproError("grid too small for the rank count")
+    if config is None:
+        config = ClusterConfig(nranks=nranks)
+    results, cluster = run_ranks(
+        nranks,
+        lambda ctx: _stencil_program(ctx, mode, rows, cols, iters, verify),
+        config=config)
+    elapsed = max(r[0] for r in results)
+    points = (rows - 1) * (cols - 1) * iters
+    mops = points * POINT_MOPS
+    out = {
+        "mode": mode,
+        "nranks": nranks,
+        "rows": rows,
+        "cols": cols,
+        "iters": iters,
+        "time_us": elapsed,
+        "gmops": mops / (elapsed * 1000.0) if elapsed else 0.0,
+    }
+    if verify:
+        corner = results[nranks - 1][1]
+        out["corner"] = corner
+        out["corner_expected"] = _serial_reference(rows, cols, iters)
+    return out

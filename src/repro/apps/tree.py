@@ -1,0 +1,130 @@
+"""16-ary tree reduction — Figure 4c of the paper (§VI-B).
+
+P ranks form a k-ary (default 16) reduction tree.  Each inner node combines
+its children's contributions and forwards the partial result to its parent;
+the root holds the final reduction.
+
+Modes
+-----
+``mp``      recv from each child, send to parent
+``pscw``    children put into parent slots inside a PSCW epoch
+``na``      children ``put_notify`` into per-child parent slots; the parent
+            waits for **one counting request** with
+            ``expected_count = #children`` (the paper's counting feature)
+``vendor``  the tuned vendor ``MPI_Reduce`` stand-in (binomial tree with a
+            cheaper software path)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster import ClusterConfig, run_ranks
+from repro.errors import ReproError
+from repro.mpi.collectives import vendor_reduce
+
+TREE_MODES = ("mp", "pscw", "na", "vendor")
+
+_TAG = 11
+
+
+def _children(rank: int, size: int, arity: int) -> list[int]:
+    return [c for c in range(rank * arity + 1, rank * arity + arity + 1)
+            if c < size]
+
+
+def _parent(rank: int, arity: int) -> int:
+    return (rank - 1) // arity
+
+
+def _tree_program(ctx, mode: str, arity: int, elems: int, reps: int):
+    rank, size = ctx.rank, ctx.size
+    kids = _children(rank, size, arity)
+    value = np.full(elems, float(rank), dtype=np.float64)
+    nbytes = elems * 8
+    win = None
+    req = None
+    if mode in ("na", "pscw"):
+        win = yield from ctx.win_allocate(max(len(kids), 1) * nbytes)
+        if mode == "na" and kids:
+            req = yield from ctx.na.notify_init(
+                win, expected_count=len(kids))
+
+    yield from ctx.barrier()
+    reduce_time = 0.0
+    for rep in range(reps):
+        t_rep = ctx.now
+        acc = value.copy()
+        if mode == "mp":
+            buf = np.zeros(elems)
+            for c in kids:
+                yield from ctx.comm.recv(buf, c, _TAG)
+                acc += buf
+            if rank != 0:
+                yield from ctx.comm.send(acc, _parent(rank, arity), _TAG)
+        elif mode == "na":
+            if kids:
+                yield from ctx.na.start(req)
+                yield from ctx.na.wait(req)
+                slots = win.local(np.float64).reshape(len(kids), elems)
+                acc += slots.sum(axis=0)
+            if rank != 0:
+                parent = _parent(rank, arity)
+                slot = parent * arity + 1
+                yield from ctx.na.put_notify(
+                    win, acc, parent, (rank - slot) * nbytes, tag=_TAG)
+                yield from win.flush_local(parent)
+        elif mode == "pscw":
+            if kids:
+                yield from win.post(kids)
+                yield from win.wait(kids)
+                slots = win.local(np.float64).reshape(len(kids), elems)
+                acc += slots.sum(axis=0)
+            if rank != 0:
+                parent = _parent(rank, arity)
+                slot = parent * arity + 1
+                yield from win.start([parent])
+                yield from win.put(acc, parent, (rank - slot) * nbytes)
+                yield from win.complete()
+        elif mode == "vendor":
+            out = np.zeros(elems)
+            yield from vendor_reduce(ctx.comm, value,
+                                     out if rank == 0 else None, 0)
+            acc = out
+        if rank == 0:
+            expected = size * (size - 1) / 2.0   # sum of all rank values
+            if not np.allclose(acc, expected):
+                raise ReproError(
+                    f"tree reduction produced {acc[0]}, expected {expected}")
+        reduce_time += ctx.now - t_rep
+        # Separate repetitions so requests and slots can be reused safely
+        # (the barrier is excluded from the measured reduction time).
+        yield from ctx.barrier()
+    return reduce_time / reps
+
+
+def run_tree_reduction(mode: str, nranks: int, arity: int = 16,
+                       elems: int = 1, reps: int = 5,
+                       config: Optional[ClusterConfig] = None) -> dict:
+    """Run the k-ary tree reduction; returns the mean reduction time."""
+    if mode not in TREE_MODES:
+        raise ReproError(f"unknown tree mode {mode!r}; "
+                         f"choose from {TREE_MODES}")
+    if arity < 2:
+        raise ReproError(f"arity must be >= 2, got {arity}")
+    if config is None:
+        config = ClusterConfig(nranks=nranks)
+    results, cluster = run_ranks(
+        nranks,
+        lambda ctx: _tree_program(ctx, mode, arity, elems, reps),
+        config=config)
+    return {
+        "mode": mode,
+        "nranks": nranks,
+        "arity": arity,
+        "elems": elems,
+        "size_bytes": elems * 8,
+        "time_us": float(results[0]),
+    }

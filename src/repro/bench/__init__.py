@@ -1,0 +1,44 @@
+"""Experiment harness: one driver per figure/table of the paper.
+
+Each ``fig_*``/``table_*`` function runs the full parameter sweep on the
+simulator and returns a :class:`~repro.bench.report.Table` whose rows mirror
+what the paper plots; ``python -m repro.bench`` regenerates everything and
+prints the tables (the source of EXPERIMENTS.md).
+
+The drivers accept a ``scale`` factor shrinking domain sizes / process
+counts so the pure-Python simulation stays fast; shapes (who wins, by what
+factor, where crossovers fall) are preserved.
+"""
+
+from repro.bench.report import Table, format_table
+from repro.bench.figures import (
+    fig1_stencil_strong,
+    fig3a_pingpong_put,
+    fig3b_pingpong_get,
+    fig3c_pingpong_shm,
+    fig4a_overlap,
+    fig4b_stencil_weak,
+    fig4c_tree,
+    fig5_cholesky,
+    table1_loggp,
+    sec5_cache_misses,
+    fig2_transactions,
+    ALL_EXPERIMENTS,
+)
+
+__all__ = [
+    "Table",
+    "format_table",
+    "fig1_stencil_strong",
+    "fig3a_pingpong_put",
+    "fig3b_pingpong_get",
+    "fig3c_pingpong_shm",
+    "fig4a_overlap",
+    "fig4b_stencil_weak",
+    "fig4c_tree",
+    "fig5_cholesky",
+    "table1_loggp",
+    "sec5_cache_misses",
+    "fig2_transactions",
+    "ALL_EXPERIMENTS",
+]

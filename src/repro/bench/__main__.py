@@ -1,0 +1,52 @@
+"""Regenerate every experiment table: ``python -m repro.bench [ids...]``.
+
+With no arguments, runs all experiments in paper order and prints the
+tables.  Pass experiment ids (fig1, fig2, fig3a, fig3b, fig3c, fig4a,
+fig4b, fig4c, fig5, table1, sec5) to run a subset.  ``--markdown PATH``
+additionally writes the tables as a markdown report.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.figures import ALL_EXPERIMENTS
+from repro.bench.report import to_markdown
+
+
+def main(argv: list[str]) -> int:
+    md_path = None
+    if "--markdown" in argv:
+        i = argv.index("--markdown")
+        try:
+            md_path = argv[i + 1]
+        except IndexError:
+            print("--markdown needs a path", file=sys.stderr)
+            return 2
+        argv = argv[:i] + argv[i + 2:]
+    ids = argv or list(ALL_EXPERIMENTS)
+    unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; "
+              f"available: {list(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    md_parts = ["# Regenerated experiment tables", ""]
+    for eid in ids:
+        t0 = time.perf_counter()
+        table = ALL_EXPERIMENTS[eid]()
+        dt = time.perf_counter() - t0
+        print(table)
+        print(f"[{eid} regenerated in {dt:.1f}s wall]")
+        print()
+        md_parts.append(to_markdown(table))
+        md_parts.append("")
+    if md_path is not None:
+        with open(md_path, "w") as fh:
+            fh.write("\n".join(md_parts))
+        print(f"markdown report written to {md_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

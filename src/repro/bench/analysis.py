@@ -1,0 +1,79 @@
+"""Post-run trace analysis: traffic matrices and message statistics.
+
+Works on a cluster built with ``trace=True``; used by tests and available
+to users for understanding a simulated application's communication shape.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.sim.trace import Tracer
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Aggregate statistics of one traced run."""
+
+    nranks: int
+    messages: np.ndarray        # (nranks, nranks) message counts
+    bytes_: np.ndarray          # (nranks, nranks) byte counts
+    by_op: dict[str, int]
+
+    @property
+    def total_messages(self) -> int:
+        return int(self.messages.sum())
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.bytes_.sum())
+
+    def hottest_pair(self) -> tuple[int, int]:
+        """(src, dst) moving the most bytes."""
+        idx = int(np.argmax(self.bytes_))
+        return idx // self.nranks, idx % self.nranks
+
+    def imbalance(self) -> float:
+        """Max/mean ratio of per-rank sent bytes (1.0 = perfectly even)."""
+        sent = self.bytes_.sum(axis=1)
+        mean = sent.mean()
+        if mean == 0:
+            return 1.0
+        return float(sent.max() / mean)
+
+
+def traffic_matrix(tracer: Tracer, nranks: int) -> TrafficSummary:
+    """Build the (src, dst) traffic matrix from wire records."""
+    if not tracer.enabled:
+        raise ReproError(
+            "tracer has no records; build the cluster with trace=True")
+    messages = np.zeros((nranks, nranks), dtype=np.int64)
+    bytes_ = np.zeros((nranks, nranks), dtype=np.int64)
+    by_op: Counter[str] = Counter()
+    for rec in tracer.records:
+        if rec.kind != "wire":
+            continue
+        messages[rec.src, rec.dst] += 1
+        bytes_[rec.src, rec.dst] += rec.nbytes
+        by_op[rec.detail.get("op", "?")] += 1
+    return TrafficSummary(nranks=nranks, messages=messages, bytes_=bytes_,
+                          by_op=dict(by_op))
+
+
+def message_size_histogram(tracer: Tracer,
+                           edges=(0, 64, 512, 4096, 65536, 1 << 30)
+                           ) -> dict[str, int]:
+    """Histogram of wire message sizes across standard buckets."""
+    if not tracer.enabled:
+        raise ReproError(
+            "tracer has no records; build the cluster with trace=True")
+    sizes = [rec.nbytes for rec in tracer.records if rec.kind == "wire"]
+    out = {}
+    for lo, hi in zip(edges, edges[1:]):
+        label = f"[{lo}, {hi})" if hi < (1 << 30) else f">= {lo}"
+        out[label] = sum(1 for s in sizes if lo <= s < hi)
+    return out

@@ -1,0 +1,228 @@
+"""Cluster assembly: ranks, programs, and the top-level run loop.
+
+A :class:`Cluster` wires together the DES engine, the machine topology, one
+address space + NIC + cache model + MPI endpoint + Notified Access engine
+per rank, and runs *rank programs* — generator functions of one
+:class:`Rank` argument that use the blocking-style APIs::
+
+    def program(ctx):
+        win = yield from ctx.win_allocate(4096)
+        if ctx.rank == 0:
+            yield from ctx.na.put_notify(win, data, target=1, tag=7)
+        else:
+            req = yield from ctx.na.notify_init(win, source=0, tag=7)
+            yield from ctx.na.start(req)
+            status = yield from ctx.na.wait(req)
+        return ctx.now
+
+    results, cluster = run_ranks(2, program)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from repro.core.counters import CounterEngine
+from repro.core.overwriting import OverwriteEngine
+from repro.core.engine import NotifyEngine
+from repro.errors import SimulationError
+from repro.memory.address import AddressSpace, DEFAULT_SPACE
+from repro.memory.cache import CacheModel
+from repro.mpi.comm import Communicator
+from repro.mpi.endpoint import MpiEndpoint
+from repro.network.fabric import Fabric, SysPacket
+from repro.network.loggp import TransportParams
+from repro.network.topology import Machine
+from repro.rma.window import WindowRegistry, win_allocate
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStream
+from repro.sim.trace import Tracer
+
+
+@dataclass
+class ClusterConfig:
+    """Tunables of a simulated cluster run."""
+
+    nranks: int = 2
+    ranks_per_node: int = 1
+    #: dragonfly grouping of nodes (None = flat network)
+    nodes_per_group: Optional[int] = None
+    params: TransportParams = field(default_factory=TransportParams)
+    seed: int = 42
+    trace: bool = False
+    space_bytes: int = DEFAULT_SPACE
+    #: Cray-like helper agent answering rendezvous CTS without the sender CPU
+    async_progress: bool = True
+    #: CPU compute throughput used by ``Rank.compute_flops`` (flops per µs)
+    flops_per_us: float = 8000.0
+    detect_deadlock: bool = True
+
+
+class Rank:
+    """Everything one simulated process can see."""
+
+    def __init__(self, cluster: "Cluster", rank: int):
+        self.cluster = cluster
+        self.rank = rank
+        self.engine = cluster.engine
+        self.machine = cluster.machine
+        self.fabric = cluster.fabric
+        self.params = cluster.cfg.params
+        self.space: AddressSpace = cluster.spaces[rank]
+        self.cache = CacheModel()
+        self.nic = cluster.fabric.nic(rank)
+        self.rng = RngStream(cluster.cfg.seed, "rank", rank)
+        # Wired in a second phase (endpoint needs this context object):
+        self.endpoint: MpiEndpoint = None  # type: ignore[assignment]
+        self.comm: Communicator = None     # type: ignore[assignment]
+        self.na: NotifyEngine = None       # type: ignore[assignment]
+        self.counters: CounterEngine = None  # type: ignore[assignment]
+        self.gaspi: OverwriteEngine = None   # type: ignore[assignment]
+
+    @property
+    def size(self) -> int:
+        return self.cluster.cfg.nranks
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def timeout(self, dt: float):
+        return self.engine.timeout(dt)
+
+    def compute(self, dt_us: float) -> Generator[object, object, None]:
+        """Occupy this rank's CPU for ``dt_us`` microseconds."""
+        if dt_us > 0:
+            yield self.engine.timeout(dt_us)
+
+    def compute_flops(self, flops: float) -> Generator[object, object, None]:
+        """Occupy the CPU for the time ``flops`` take at the modeled rate."""
+        yield from self.compute(flops / self.cluster.cfg.flops_per_us)
+
+    def alloc(self, nbytes: int, align: int = 64):
+        return self.space.alloc(nbytes, align=align)
+
+    def win_allocate(self, nbytes: int, disp_unit: int = 1):
+        """Collective window allocation (see :func:`repro.rma.win_allocate`)."""
+        win = yield from win_allocate(self, nbytes, disp_unit)
+        return win
+
+    def barrier(self):
+        yield from self.comm.barrier()
+
+
+class Cluster:
+    """A simulated machine plus the full communication stack."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None, **kw):
+        if config is None:
+            config = ClusterConfig(**kw)
+        elif kw:
+            raise SimulationError("pass either a config or kwargs, not both")
+        self.cfg = config
+        self.engine = Engine()
+        self.machine = Machine(config.nranks, config.ranks_per_node,
+                               nodes_per_group=config.nodes_per_group)
+        self.tracer = Tracer(enabled=config.trace)
+        self.spaces = [AddressSpace(r, config.space_bytes)
+                       for r in range(config.nranks)]
+        self.fabric = Fabric(self.engine, self.machine, self.spaces,
+                             params=config.params, tracer=self.tracer,
+                             seed=config.seed)
+        self.win_registry = WindowRegistry(config.nranks)
+        self.ranks = [Rank(self, r) for r in range(config.nranks)]
+        endpoints = []
+        for ctx in self.ranks:
+            ctx.endpoint = MpiEndpoint(ctx)
+            endpoints.append(ctx.endpoint)
+        for ctx in self.ranks:
+            ctx.comm = Communicator(ctx.endpoint, endpoints)
+            ctx.na = NotifyEngine(ctx)
+            ctx.counters = CounterEngine(ctx)
+            ctx.gaspi = OverwriteEngine(ctx)
+        if config.async_progress:
+            self.fabric.on_sys_arrival = self._async_progress_hook
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def _async_progress_hook(self, target: int, pkt: SysPacket) -> None:
+        """Answer rendezvous CTS messages like Cray's helper agent: off the
+        main CPU, after a small reaction delay."""
+        if pkt.ptype != "cts":
+            return
+        pkt.payload["async_handled"] = True
+        endpoint = self.ranks[target].endpoint
+        self.fabric._at(
+            self.engine.now + self.cfg.params.async_progress_delay,
+            lambda: endpoint._on_cts(pkt))
+
+    # ------------------------------------------------------------------
+    def run(self,
+            program: Callable[[Rank], Generator] | Sequence[Callable],
+            args: Sequence[Any] = (),
+            until: Optional[float] = None) -> list[Any]:
+        """Run one program on every rank (or one program per rank).
+
+        Returns the per-rank return values.  A cluster is single-use: build
+        a fresh one per experiment so engines and statistics stay clean.
+        """
+        if self._ran:
+            raise SimulationError("cluster already ran; build a new one")
+        self._ran = True
+        if callable(program):
+            programs = [program] * self.cfg.nranks
+        else:
+            programs = list(program)
+            if len(programs) != self.cfg.nranks:
+                raise SimulationError(
+                    f"{len(programs)} programs for {self.cfg.nranks} ranks")
+        procs = []
+        for ctx, prog in zip(self.ranks, programs):
+            procs.append(self.engine.process(prog(ctx, *args),
+                                             name=f"rank{ctx.rank}"))
+        self.engine.run(until=until,
+                        detect_deadlock=self.cfg.detect_deadlock)
+        return [p.value if p.triggered else None for p in procs]
+
+    # ------------------------------------------------------------------
+    @property
+    def time(self) -> float:
+        """Final virtual time (µs)."""
+        return self.engine.now
+
+    def stats(self) -> dict[str, Any]:
+        """Summary counters for tests and reports."""
+        return {
+            "time_us": self.engine.now,
+            "wire_transactions": self.tracer.wire_transactions(),
+            "bytes_on_wire": self.tracer.bytes_by_kind.get("wire", 0),
+            "eager_copies": sum(c.endpoint.eager_copies for c in self.ranks),
+            "bounce_copies": sum(c.endpoint.bounce_copies
+                                 for c in self.ranks),
+            "rndv_sends": sum(c.endpoint.rndv_sends for c in self.ranks),
+            "notified_ops": sum(c.na.notified_ops for c in self.ranks),
+            "cache_misses": {c.rank: c.cache.stats.misses
+                             for c in self.ranks},
+            "rx_bytes": {c.rank: c.nic.rx_bytes for c in self.ranks},
+            "shm_inline_puts": sum(c.nic.shm.inline_puts
+                                   for c in self.ranks),
+            "live_na_requests": sum(c.na.live_requests
+                                    for c in self.ranks),
+        }
+
+
+def run_ranks(nranks: int,
+              program: Callable[[Rank], Generator] | Sequence[Callable],
+              args: Sequence[Any] = (),
+              config: Optional[ClusterConfig] = None,
+              **kw) -> tuple[list[Any], Cluster]:
+    """Convenience: build a cluster, run ``program`` on ``nranks`` ranks.
+
+    Returns ``(per_rank_results, cluster)``.
+    """
+    if config is None:
+        config = ClusterConfig(nranks=nranks, **kw)
+    cluster = Cluster(config)
+    results = cluster.run(program, args=args)
+    return results, cluster

@@ -1,0 +1,34 @@
+"""Notified Access — the paper's contribution (§III–§IV).
+
+Adds a remote completion notification to any RMA access:
+
+* :meth:`NotifyEngine.put_notify` / :meth:`NotifyEngine.get_notify` /
+  :meth:`NotifyEngine.accumulate_notify` — notified variants of the RMA
+  data-movement calls, each carrying an integer ``tag``;
+* :meth:`NotifyEngine.notify_init` — a **persistent** notification request
+  bound to ``(window, source, tag, expected_count)``, supporting
+  ``ANY_SOURCE``/``ANY_TAG`` wildcards and counting semantics;
+* :meth:`NotifyEngine.start` / :meth:`NotifyEngine.test` /
+  :meth:`NotifyEngine.wait` — request lifecycle, matching against the
+  unexpected queue and the hardware destination completion queues.
+
+The matching path is instrumented against the rank's cache-line model so the
+"two compulsory cache misses" claim of §V is measured, not assumed.
+"""
+
+from repro.core.nrequest import NotifyRequest
+from repro.core.engine import NotifyEngine
+from repro.core.matching import UnexpectedQueue, UqEntry
+from repro.core.counters import CounterEngine, CounterRequest
+from repro.core.overwriting import NotificationSpace, OverwriteEngine
+
+__all__ = [
+    "NotifyEngine",
+    "NotifyRequest",
+    "UnexpectedQueue",
+    "UqEntry",
+    "CounterEngine",
+    "CounterRequest",
+    "OverwriteEngine",
+    "NotificationSpace",
+]

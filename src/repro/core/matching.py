@@ -1,0 +1,101 @@
+"""The Unexpected Queue (UQ) and notification matching (§IV-B).
+
+Notifications polled off the hardware CQs that do not match the querying
+request are appended to a single per-rank UQ, preserving arrival order.
+The UQ is backed by a ring of 64-byte slots in the rank's address space;
+the head pointer lives on the same cache line as the first slot, which is
+what bounds a cold lookup to one miss for the queue (plus one for the
+request structure) — the paper's two-compulsory-miss argument.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.errors import MatchingError
+from repro.memory.address import Region
+from repro.memory.cache import CACHE_LINE, CacheModel
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+
+#: default UQ capacity in entries
+UQ_SLOTS = 512
+
+
+@dataclass
+class UqEntry:
+    """One queued notification."""
+
+    win_id: int
+    source: int
+    tag: int
+    nbytes: int
+    time: float
+    slot_addr: int
+
+
+class UnexpectedQueue:
+    """Arrival-ordered notification queue with cache accounting."""
+
+    def __init__(self, region: Region, cache: CacheModel,
+                 slots: int = UQ_SLOTS):
+        need = slots * CACHE_LINE
+        if region.nbytes < need:
+            raise MatchingError(
+                f"UQ region of {region.nbytes} B too small for "
+                f"{slots} slots")
+        self.region = region
+        self.cache = cache
+        self.slots = slots
+        self._entries: Deque[UqEntry] = deque()
+        self._next_slot = 0
+        self.appended = 0
+        self.matched = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def head_addr(self) -> int:
+        """The head pointer shares the cache line of slot 0 (§V)."""
+        return self.region.addr
+
+    def append(self, win_id: int, source: int, tag: int, nbytes: int,
+               time: float) -> UqEntry:
+        if len(self._entries) >= self.slots:
+            raise MatchingError(
+                f"unexpected queue overflow ({self.slots} slots)")
+        slot_addr = self.region.addr + self._next_slot * CACHE_LINE
+        self._next_slot = (self._next_slot + 1) % self.slots
+        entry = UqEntry(win_id, source, tag, nbytes, time, slot_addr)
+        self._entries.append(entry)
+        self.appended += 1
+        self.cache.touch(slot_addr, CACHE_LINE, label="na-uq-append")
+        return entry
+
+    def find_and_remove(self, req) -> Optional[UqEntry]:
+        """Oldest entry matching ``req``; touches scanned lines."""
+        # Touching the head (pointer + first slots) is the one compulsory
+        # queue miss; scanning further entries touches their slots.
+        self.cache.touch(self.head_addr, 8, label="na-uq-head")
+        for i, entry in enumerate(self._entries):
+            self.cache.touch(entry.slot_addr, CACHE_LINE, label="na-uq-scan")
+            if req.matches(entry.win_id, entry.source, entry.tag):
+                del self._entries[i]
+                self.matched += 1
+                return entry
+        return None
+
+    def peek_match(self, win_id: Optional[int], source: int,
+                   tag: int) -> Optional[UqEntry]:
+        """Probe-style lookup without consuming (no cache charging)."""
+        for entry in self._entries:
+            if win_id is not None and entry.win_id != win_id:
+                continue
+            if source != ANY_SOURCE and entry.source != source:
+                continue
+            if tag != ANY_TAG and entry.tag != tag:
+                continue
+            return entry
+        return None

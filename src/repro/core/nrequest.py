@@ -1,0 +1,72 @@
+"""Persistent notification requests (§III-B, "Persistent Requests").
+
+A request is a 32-byte structure — two 8-byte values (window, rank), two
+4-byte values (tag, type), and two 4-byte values (count, matched) — allocated
+in the owning rank's simulated address space so that the matching engine's
+touches of it are measured against the cache model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import MatchingError
+from repro.memory.address import Region
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.status import Status
+
+
+class NotifyRequest:
+    """A persistent request matching ``expected_count`` notified accesses."""
+
+    __slots__ = ("win", "source", "tag", "expected", "matched", "active",
+                 "region", "addr", "last_status", "freed", "starts",
+                 "completions")
+
+    def __init__(self, win, source: int, tag: int, expected: int,
+                 region: Region):
+        if expected < 1:
+            raise MatchingError(
+                f"expected_count must be >= 1, got {expected}")
+        if tag != ANY_TAG and not 0 <= tag <= 0xFFFF:
+            raise MatchingError(
+                f"tag {tag} outside the 16 significant tag bits")
+        if source != ANY_SOURCE and not 0 <= source < win.shared.nranks:
+            raise MatchingError(f"source rank {source} out of range")
+        self.win = win
+        self.source = source
+        self.tag = tag
+        self.expected = expected
+        self.matched = 0
+        self.active = False
+        self.region = region
+        self.addr = region.addr
+        self.last_status: Optional[Status] = None
+        self.freed = False
+        self.starts = 0
+        self.completions = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.matched >= self.expected
+
+    def matches(self, win_id: int, source: int, tag: int) -> bool:
+        """Does a notification (win, source, tag) match this request?"""
+        if win_id != self.win.id:
+            return False
+        if self.source != ANY_SOURCE and self.source != source:
+            return False
+        if self.tag != ANY_TAG and self.tag != tag:
+            return False
+        return True
+
+    def _check_usable(self) -> None:
+        if self.freed:
+            raise MatchingError("use of a freed notification request")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        src = "ANY" if self.source == ANY_SOURCE else self.source
+        tag = "ANY" if self.tag == ANY_TAG else self.tag
+        return (f"<NotifyRequest win={self.win.id} source={src} tag={tag} "
+                f"matched={self.matched}/{self.expected} "
+                f"active={self.active}>")

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an illegal state.
+
+    Examples: running a finished engine, deadlock (no runnable events while
+    processes are still blocked), or interrupting a dead process.
+    """
+
+
+class DeadlockError(SimulationError):
+    """All processes are blocked and the event queue is empty."""
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        names = ", ".join(blocked) if blocked else "<unknown>"
+        super().__init__(f"simulation deadlock; blocked processes: {names}")
+
+
+class AllocationError(ReproError):
+    """An address-space or window allocation could not be satisfied."""
+
+
+class RmaEpochError(ReproError):
+    """An RMA call was made outside a legal synchronization epoch.
+
+    MPI-3 requires e.g. that ``put`` only happens inside an access epoch
+    (after ``fence``, ``start``, or ``lock``); violations raise this error
+    instead of silently corrupting memory, mirroring a debug MPI build.
+    """
+
+
+class MatchingError(ReproError):
+    """Illegal use of the notification/message matching engine.
+
+    Examples: starting an already-started persistent request, waiting on an
+    inactive request, or freeing an active one.
+    """
+
+
+class NetworkError(ReproError):
+    """Transport-level failure (e.g. undeliverable packet, bad route)."""
+
+
+class BufferError_(ReproError):
+    """A user buffer does not fit the described transfer."""

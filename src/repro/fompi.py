@@ -1,0 +1,111 @@
+"""foMPI-NA-style API shim: the paper's C interface, near-verbatim.
+
+The paper extends MPI with ``foMPI_Put_notify``, ``foMPI_Get_notify``,
+``foMPI_Notify_init`` (+ the standard ``MPI_Start``/``Wait``/``Test``/
+``Request_free``), keeping buffer/count/datatype signatures.  This module
+exposes the same names and argument orders over the simulated runtime, so
+the paper's Listing 1 transcribes almost line by line (see
+``examples/listing1_pingpong.py``).
+
+Every function takes the rank context ``ctx`` first (the simulator's stand-
+in for the implicit MPI process state) and is used with ``yield from``.
+Counts are in elements of the given NumPy dtype, displacements in the
+window's disp units, exactly like the MPI calls.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.core.nrequest import NotifyRequest
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG  # noqa: F401  (re-export)
+from repro.mpi.status import Status
+from repro.rma.window import Window
+
+#: re-exported wildcard names matching the MPI spelling
+MPI_ANY_SOURCE = ANY_SOURCE
+MPI_ANY_TAG = ANY_TAG
+
+
+def Win_allocate(ctx, size_bytes: int,
+                 disp_unit: int = 1) -> Generator[object, object, Window]:
+    """MPI_Win_allocate (collective)."""
+    win = yield from ctx.win_allocate(size_bytes, disp_unit=disp_unit)
+    return win
+
+
+def Win_free(ctx, win: Window) -> Generator[object, object, None]:
+    """MPI_Win_free (collective)."""
+    yield from win.free()
+
+
+def Win_flush(ctx, target_rank: int,
+              win: Window) -> Generator[object, object, None]:
+    """MPI_Win_flush: remote completion of pending ops to ``target_rank``."""
+    yield from win.flush(target_rank)
+
+
+def Win_flush_local(ctx, target_rank: int,
+                    win: Window) -> Generator[object, object, None]:
+    yield from win.flush_local(target_rank)
+
+
+def Put_notify(ctx, origin_buf: np.ndarray, origin_count: int, dtype,
+               target_rank: int, target_disp: int, target_count: int,
+               target_dtype, win: Window,
+               tag: int) -> Generator[object, object, None]:
+    """foMPI_Put_notify(origin_addr, origin_count, origin_type, ...)."""
+    if origin_count * np.dtype(dtype).itemsize != \
+            target_count * np.dtype(target_dtype).itemsize:
+        raise ValueError("origin and target transfer sizes differ")
+    data = np.ascontiguousarray(origin_buf).reshape(-1)[:origin_count]
+    yield from ctx.na.put_notify(win, data.astype(dtype, copy=False),
+                                 target_rank, target_disp, tag=tag)
+
+
+def Get_notify(ctx, origin_region, origin_count: int, dtype,
+               target_rank: int, target_disp: int, target_count: int,
+               target_dtype, win: Window,
+               tag: int) -> Generator[object, object, None]:
+    """foMPI_Get_notify; ``origin_region`` is the local landing Region."""
+    nbytes = target_count * np.dtype(target_dtype).itemsize
+    if origin_count * np.dtype(dtype).itemsize != nbytes:
+        raise ValueError("origin and target transfer sizes differ")
+    yield from ctx.na.get_notify(win, origin_region, target_rank,
+                                 target_disp, nbytes=nbytes, tag=tag)
+
+
+def Notify_init(ctx, win: Window, source_rank: int, tag: int,
+                expected_count: int
+                ) -> Generator[object, object, NotifyRequest]:
+    """foMPI_Notify_init: a persistent notification request."""
+    req = yield from ctx.na.notify_init(win, source=source_rank, tag=tag,
+                                        expected_count=expected_count)
+    return req
+
+
+def Start(ctx, request: NotifyRequest) -> Generator[object, object, None]:
+    """MPI_Start on a notification request."""
+    yield from ctx.na.start(request)
+
+
+def Wait(ctx, request: NotifyRequest
+         ) -> Generator[object, object, Status]:
+    """MPI_Wait; returns the status of the last matching notified access."""
+    status = yield from ctx.na.wait(request)
+    return status
+
+
+def Test(ctx, request: NotifyRequest
+         ) -> Generator[object, object, tuple[bool, Optional[Status]]]:
+    """MPI_Test; returns (flag, status or None)."""
+    done = yield from ctx.na.test(request)
+    return done, (request.last_status if done else None)
+
+
+def Request_free(ctx,
+                 request: NotifyRequest) -> Generator[object, object, None]:
+    """MPI_Request_free on a persistent notification request."""
+    yield from ctx.na.request_free(request)

@@ -1,0 +1,68 @@
+"""XPMEM-like cross-process shared memory segments.
+
+On the real system, XPMEM lets a process map another process's exposed pages
+into its own address space, enabling direct load/store intra-node
+communication.  We model a segment as a handle naming an address range of an
+owner rank; any rank *on the same node* may attach and read/write it
+directly (the shared-memory transport charges the time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BufferError_, NetworkError
+from repro.memory.address import AddressSpace
+
+
+class XpmemSegment:
+    """An exposed address range of ``owner`` rank's memory."""
+
+    __slots__ = ("segid", "owner", "space", "addr", "nbytes")
+
+    def __init__(self, segid: int, owner: int, space: AddressSpace,
+                 addr: int, nbytes: int):
+        if addr < 0 or addr + nbytes > space.size:
+            raise BufferError_("segment outside owner's address space")
+        self.segid = segid
+        self.owner = owner
+        self.space = space
+        self.addr = addr
+        self.nbytes = nbytes
+
+    def read(self, offset: int, nbytes: int) -> np.ndarray:
+        if offset < 0 or offset + nbytes > self.nbytes:
+            raise BufferError_("read outside segment")
+        return self.space.copy_out(self.addr + offset, nbytes)
+
+    def write(self, offset: int, data: np.ndarray) -> None:
+        raw = data.view(np.uint8).ravel()
+        if offset < 0 or offset + raw.nbytes > self.nbytes:
+            raise BufferError_("write outside segment")
+        self.space.copy_in(self.addr + offset, raw)
+
+
+class XpmemRegistry:
+    """Per-node registry of exposed segments (the "make" / "attach" calls)."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self._segments: dict[int, XpmemSegment] = {}
+        self._next_id = 1
+
+    def expose(self, owner: int, space: AddressSpace, addr: int,
+               nbytes: int) -> XpmemSegment:
+        seg = XpmemSegment(self._next_id, owner, space, addr, nbytes)
+        self._segments[seg.segid] = seg
+        self._next_id += 1
+        return seg
+
+    def attach(self, segid: int) -> XpmemSegment:
+        seg = self._segments.get(segid)
+        if seg is None:
+            raise NetworkError(
+                f"node {self.node_id}: no XPMEM segment {segid}")
+        return seg
+
+    def revoke(self, segid: int) -> None:
+        self._segments.pop(segid, None)

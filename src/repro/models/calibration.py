@@ -1,0 +1,46 @@
+"""Fit LogGP parameters from measured (size, latency) samples.
+
+Regenerates Table I of the paper: run one-way notified-put latency sweeps on
+each transport, then least-squares fit ``latency = c + G * s``.  ``G`` is the
+slope; ``L`` is recovered by subtracting the known software overheads from
+the intercept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LogGPFit:
+    """Result of a linear latency fit."""
+
+    L: float          # recovered zero-byte wire latency, µs
+    G: float          # per-byte gap, µs/byte
+    intercept: float  # raw fitted intercept (includes software overheads)
+    residual: float   # RMS residual of the fit, µs
+
+    def G_ns_per_byte(self) -> float:
+        return self.G * 1e3
+
+
+def fit_loggp(sizes: Sequence[int], latencies: Sequence[float],
+              software_overhead: float = 0.0) -> LogGPFit:
+    """Least-squares fit of ``latency = intercept + G * size``.
+
+    ``software_overhead`` (o_send + o_recv + per-message engine gap etc.) is
+    subtracted from the intercept to recover the wire L.
+    """
+    s = np.asarray(sizes, dtype=np.float64)
+    t = np.asarray(latencies, dtype=np.float64)
+    if s.shape != t.shape or s.size < 2:
+        raise ValueError("need >=2 matching size/latency samples")
+    A = np.vstack([np.ones_like(s), s]).T
+    (intercept, G), res, *_ = np.linalg.lstsq(A, t, rcond=None)
+    pred = intercept + G * s
+    rms = float(np.sqrt(np.mean((pred - t) ** 2)))
+    return LogGPFit(L=float(intercept - software_overhead), G=float(G),
+                    intercept=float(intercept), residual=rms)

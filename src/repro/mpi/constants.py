@@ -1,0 +1,14 @@
+"""Wildcards and sentinels, mirroring the MPI constants the paper's
+interface relies on (``MPI_ANY_SOURCE``, ``MPI_ANY_TAG``)."""
+
+#: matches a message from any source rank
+ANY_SOURCE = -1
+#: matches a message with any tag
+ANY_TAG = -1
+#: a null process: sends/receives to it complete immediately with no data
+PROC_NULL = -2
+
+#: header bytes charged for control-only protocol packets
+EAGER_HEADER = 32
+RTS_BYTES = 32
+CTS_BYTES = 16

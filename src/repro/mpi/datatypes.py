@@ -1,0 +1,169 @@
+"""MPI-style derived datatypes: contiguous, vector, and indexed layouts.
+
+The paper's interface (``MPI_Put_notify(origin_addr, origin_count,
+origin_type, ...)``) takes datatype arguments; this module provides the
+datatype engine: each datatype describes a byte layout over a buffer, and
+``pack``/``unpack`` gather/scatter between that layout and a contiguous
+wire representation.  The transports always move packed bytes (RDMA of
+non-contiguous data is gather/scatter at the NIC or a CPU pack, which the
+cost model charges via ``pack_cost``).
+
+Supported constructors mirror the MPI core set:
+
+* :func:`contiguous` — ``count`` consecutive elements,
+* :func:`vector` — ``count`` blocks of ``blocklength`` elements with a
+  ``stride`` (the column type of every halo exchange),
+* :func:`indexed` — explicit (blocklength, displacement) lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import BufferError_
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A byte layout: a list of (offset, nbytes) extents over a buffer.
+
+    ``extent`` is the span from offset 0 to the end of the last block —
+    what one ``count`` step advances in a multi-count transfer, like the
+    MPI extent of a committed type.
+    """
+
+    blocks: tuple[tuple[int, int], ...]
+    itemsize: int
+    name: str = "derived"
+
+    @property
+    def size(self) -> int:
+        """Packed payload bytes per element of this type."""
+        return sum(n for _, n in self.blocks)
+
+    @property
+    def extent(self) -> int:
+        if not self.blocks:
+            return 0
+        return max(off + n for off, n in self.blocks)
+
+    def _check(self, buf_nbytes: int, count: int) -> None:
+        if count < 0:
+            raise BufferError_(f"negative count {count}")
+        if count == 0 or not self.blocks:
+            return
+        need = (count - 1) * self.extent + self.extent
+        if need > buf_nbytes:
+            raise BufferError_(
+                f"{count} x {self.name} (extent {self.extent}) does not "
+                f"fit buffer of {buf_nbytes} bytes")
+
+    def pack(self, buf: np.ndarray, count: int = 1) -> np.ndarray:
+        """Gather ``count`` elements from ``buf`` into contiguous bytes.
+
+        ``buf`` must be C-contiguous: the datatype itself describes the
+        strided layout.  Packing a strided *view* would silently re-stride
+        the data, so it is rejected.
+        """
+        if not buf.flags["C_CONTIGUOUS"]:
+            raise BufferError_(
+                "pack needs a contiguous base buffer; describe strides "
+                "with the datatype (vector/indexed), not a sliced view")
+        raw = buf.view(np.uint8).ravel()
+        self._check(raw.nbytes, count)
+        out = np.empty(count * self.size, dtype=np.uint8)
+        pos = 0
+        for c in range(count):
+            base = c * self.extent
+            for off, n in self.blocks:
+                out[pos:pos + n] = raw[base + off:base + off + n]
+                pos += n
+        return out
+
+    def unpack(self, packed: np.ndarray, buf: np.ndarray,
+               count: int = 1) -> None:
+        """Scatter contiguous bytes back into ``buf``'s layout (``buf``
+        must be C-contiguous, as for :meth:`pack`)."""
+        if not buf.flags["C_CONTIGUOUS"]:
+            raise BufferError_(
+                "unpack needs a contiguous base buffer; describe strides "
+                "with the datatype (vector/indexed), not a sliced view")
+        raw = buf.view(np.uint8).reshape(-1)
+        self._check(raw.nbytes, count)
+        src = packed.view(np.uint8).ravel()
+        if src.nbytes != count * self.size:
+            raise BufferError_(
+                f"packed data of {src.nbytes} B != {count} x {self.size} B")
+        pos = 0
+        for c in range(count):
+            base = c * self.extent
+            for off, n in self.blocks:
+                raw[base + off:base + off + n] = src[pos:pos + n]
+                pos += n
+
+    def pack_cost(self, params, count: int = 1) -> float:
+        """CPU time to pack/unpack ``count`` elements (µs): a strided copy.
+
+        Contiguous single-block types are free (no copy happens)."""
+        if self.is_contiguous:
+            return 0.0
+        nbytes = count * self.size
+        nblocks = count * len(self.blocks)
+        return params.copy_o + nbytes * params.copy_G + 0.002 * nblocks
+
+    @property
+    def is_contiguous(self) -> bool:
+        return (len(self.blocks) == 1 and self.blocks[0][0] == 0)
+
+
+def contiguous(count: int, dtype=np.float64, name: str = "") -> Datatype:
+    """``count`` consecutive elements of ``dtype``."""
+    itemsize = np.dtype(dtype).itemsize
+    if count < 1:
+        raise BufferError_(f"contiguous count must be >= 1, got {count}")
+    return Datatype(blocks=((0, count * itemsize),), itemsize=itemsize,
+                    name=name or f"contig({count})")
+
+
+def vector(count: int, blocklength: int, stride: int,
+           dtype=np.float64, name: str = "") -> Datatype:
+    """``count`` blocks of ``blocklength`` elements, ``stride`` elements
+    apart — e.g. a matrix column is ``vector(nrows, 1, ncols)``."""
+    itemsize = np.dtype(dtype).itemsize
+    if count < 1 or blocklength < 1:
+        raise BufferError_("vector count/blocklength must be >= 1")
+    if stride < blocklength:
+        raise BufferError_(
+            f"stride {stride} overlaps blocks of length {blocklength}")
+    blocks = tuple((i * stride * itemsize, blocklength * itemsize)
+                   for i in range(count))
+    return Datatype(blocks=blocks, itemsize=itemsize,
+                    name=name or f"vector({count},{blocklength},{stride})")
+
+
+def indexed(blocklengths: Sequence[int], displacements: Sequence[int],
+            dtype=np.float64, name: str = "") -> Datatype:
+    """Explicit blocks: ``blocklengths[i]`` elements at element offset
+    ``displacements[i]``."""
+    if len(blocklengths) != len(displacements):
+        raise BufferError_("blocklengths/displacements length mismatch")
+    if not blocklengths:
+        raise BufferError_("indexed type needs at least one block")
+    itemsize = np.dtype(dtype).itemsize
+    pairs = sorted(zip(displacements, blocklengths))
+    prev_end = -1
+    blocks = []
+    for disp, bl in pairs:
+        if bl < 1:
+            raise BufferError_(f"blocklength must be >= 1, got {bl}")
+        if disp < 0:
+            raise BufferError_(f"negative displacement {disp}")
+        if disp < prev_end:
+            raise BufferError_("indexed blocks overlap")
+        prev_end = disp + bl
+        blocks.append((disp * itemsize, bl * itemsize))
+    return Datatype(blocks=tuple(blocks), itemsize=itemsize,
+                    name=name or f"indexed({len(blocks)})")

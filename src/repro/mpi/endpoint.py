@@ -1,0 +1,412 @@
+"""The per-rank message-passing engine: protocols, matching, progress.
+
+All blocking calls are generators (use ``yield from``); CPU costs are charged
+by yielding engine timeouts, so a rank's sends, receives, copies, and
+matching serialize on its (single) CPU exactly like a real MPI process.
+
+Protocol notes
+--------------
+*Eager* (``nbytes <= eager_max``): one wire packet carries the payload.  If a
+matching receive is posted at arrival, the payload is copied once into the
+user buffer; otherwise it is copied into a bounce buffer and again on match —
+the copy overheads and cache pollution the paper charges against message
+passing (§IV).
+
+*Rendezvous*: RTS → (match) → CTS → DATA.  The DATA leg is zero-copy (the
+"NIC" writes the posted user buffer directly).  The CTS is answered either
+inside the sender's next progress call, or — when the cluster runs with
+``async_progress=True`` (Cray-like helper agent, [8] in the paper) — by the
+fabric hook after ``async_progress_delay`` without involving the sender's
+CPU.
+
+Matching is arrival-ordered on ``(source, tag)`` with wildcards.  (True MPI
+orders by *send* order per source; the two differ only for concurrent
+mixed-protocol sends between one pair, which no benchmark here issues.)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.errors import MatchingError
+from repro.mpi.constants import (ANY_SOURCE, ANY_TAG, CTS_BYTES,
+                                 EAGER_HEADER, PROC_NULL, RTS_BYTES)
+from repro.mpi.request import RecvRequest, Request, SendRequest
+from repro.mpi.status import Status
+from repro.network.fabric import SysPacket
+
+#: bytes of bounce-buffer backing reserved per endpoint (cache accounting)
+BOUNCE_BYTES = 512 * 1024
+#: CPU cost of posting a receive request, µs
+T_POST = 0.05
+
+
+@dataclass
+class _Unexpected:
+    """An arrived-but-unmatched message: eager payload or RTS record."""
+
+    kind: str                 # "eager" | "rts"
+    source: int
+    tag: int
+    nbytes: int
+    data: Optional[np.ndarray] = None   # eager payload snapshot
+    send_id: Optional[int] = None       # rendezvous send handle
+    context: int = 0                    # communicator context id
+
+
+class MpiEndpoint:
+    """Message-passing state of one rank."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.rank = ctx.rank
+        self.engine = ctx.engine
+        self.fabric = ctx.fabric
+        self.nic = ctx.nic
+        self.params = ctx.params
+        self.posted: list[RecvRequest] = []
+        self.unexpected: list[_Unexpected] = []
+        self._pending_sends: dict[int, SendRequest] = {}
+        self._rndv_recvs: dict[int, RecvRequest] = {}
+        #: control-message counters used by the RMA PSCW implementation
+        self.ctrl_counts: Counter = Counter()
+        #: bounce-buffer region for unexpected eager data (cache pollution)
+        self._bounce = ctx.space.alloc(BOUNCE_BYTES)
+        self._bounce_off = 0
+        # statistics
+        self.eager_copies = 0
+        self.bounce_copies = 0
+        self.rndv_sends = 0
+        self.eager_sends = 0
+
+    # ------------------------------------------------------------------
+    # timing helpers
+    # ------------------------------------------------------------------
+    def _copy_cost(self, nbytes: int) -> float:
+        return self.params.copy_o + nbytes * self.params.copy_G
+
+    def _touch_bounce(self, nbytes: int, label: str) -> None:
+        """Charge cache pollution for a bounce-buffer copy."""
+        if nbytes <= 0:
+            return
+        if self._bounce_off + nbytes > self._bounce.nbytes:
+            self._bounce_off = 0
+        self.ctx.cache.touch(self._bounce.addr + self._bounce_off, nbytes,
+                             label=label)
+        self._bounce_off += nbytes
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def isend(self, data: np.ndarray, dest: int, tag: int,
+              context: int = 0,
+              force_rndv: bool = False) -> Generator[object, object,
+                                                     SendRequest]:
+        """Nonblocking send; returns a :class:`SendRequest`.
+
+        ``force_rndv`` sends via rendezvous regardless of size — the
+        synchronous-send (MPI_Ssend) semantics: completion implies the
+        receive has been matched.
+        """
+        if tag < 0:
+            raise MatchingError(f"send tag must be non-negative, got {tag}")
+        if dest == PROC_NULL:
+            req = SendRequest(self.engine, dest, tag,
+                              np.empty(0, np.uint8), "null")
+            req.complete(Status())
+            return req
+        data = np.ascontiguousarray(data)
+        nbytes = int(data.nbytes)
+        yield self.engine.timeout(self.params.mpi_overhead)
+        if nbytes <= self.params.eager_max and not force_rndv:
+            req = SendRequest(self.engine, dest, tag, data, "eager")
+            self.eager_sends += 1
+            h = self.fabric.send_sys(
+                self.rank, dest, "eager", nbytes + EAGER_HEADER,
+                payload={"tag": tag, "nbytes": nbytes,
+                         "context": context}, data=data)
+            if h.cpu_busy:
+                yield self.engine.timeout(h.cpu_busy)
+            h.local_done.callbacks.append(lambda _e: req.complete(Status()))
+            if h.local_done.processed:
+                req.complete(Status())
+        else:
+            req = SendRequest(self.engine, dest, tag, data, "rndv")
+            self.rndv_sends += 1
+            self._pending_sends[req.req_id] = req
+            h = self.fabric.send_sys(
+                self.rank, dest, "rts", RTS_BYTES,
+                payload={"tag": tag, "nbytes": nbytes,
+                         "send_id": req.req_id, "context": context})
+            if h.cpu_busy:
+                yield self.engine.timeout(h.cpu_busy)
+        return req
+
+    def send(self, data: np.ndarray, dest: int, tag: int,
+             context: int = 0) -> Generator[object, object, None]:
+        req = yield from self.isend(data, dest, tag, context=context)
+        yield from self.wait(req)
+
+    def ssend(self, data: np.ndarray, dest: int, tag: int,
+              context: int = 0) -> Generator[object, object, None]:
+        """Synchronous send (MPI_Ssend): always rendezvous, so completion
+        guarantees the matching receive was posted."""
+        req = yield from self.isend(data, dest, tag, context=context,
+                                    force_rndv=True)
+        yield from self.wait(req)
+
+    def _send_rndv_data(self, sreq: SendRequest, recv_id: int) -> None:
+        """Issue the DATA leg after a CTS (callable outside rank CPU)."""
+        h = self.fabric.send_sys(
+            self.rank, sreq.dest, "rdata", sreq.nbytes,
+            payload={"recv_id": recv_id, "tag": sreq.tag,
+                     "send_id": sreq.req_id},
+            data=sreq.data)
+        h.remote_done.callbacks.append(lambda _e: sreq.complete(Status()))
+        self._pending_sends.pop(sreq.req_id, None)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def irecv(self, buf: np.ndarray, source: int = ANY_SOURCE,
+              tag: int = ANY_TAG,
+              context: int = 0) -> Generator[object, object, RecvRequest]:
+        """Nonblocking receive into ``buf`` (a numpy array)."""
+        req = RecvRequest(self.engine, buf, source, tag, context=context)
+        if source == PROC_NULL:
+            req.complete(Status(source=PROC_NULL, tag=tag, count=0))
+            return req
+        yield self.engine.timeout(T_POST)
+        # Check the unexpected queue first, in arrival order.
+        for i, um in enumerate(self.unexpected):
+            if req.matches(um.source, um.tag, um.context):
+                del self.unexpected[i]
+                yield from self._deliver_unexpected(req, um)
+                return req
+        self.posted.append(req)
+        return req
+
+    def recv(self, buf: np.ndarray, source: int = ANY_SOURCE,
+             tag: int = ANY_TAG,
+             context: int = 0) -> Generator[object, object, Status]:
+        req = yield from self.irecv(buf, source, tag, context=context)
+        status = yield from self.wait(req)
+        return status
+
+    def _deliver_unexpected(self, req: RecvRequest, um: _Unexpected):
+        """Complete/advance a receive matched against an unexpected entry."""
+        if um.kind == "eager":
+            if um.nbytes > req.buf.nbytes:
+                raise MatchingError(
+                    f"message of {um.nbytes} B overflows receive buffer "
+                    f"of {req.buf.nbytes} B")
+            # Matching overhead plus the second copy: bounce -> user buffer.
+            yield self.engine.timeout(self.params.mpi_overhead
+                                      + self._copy_cost(um.nbytes))
+            self._touch_bounce(um.nbytes, "eager-unexpected-out")
+            self._write_user(req.buf, um.data, um.nbytes)
+            req.complete(Status(source=um.source, tag=um.tag,
+                                count=um.nbytes))
+        elif um.kind == "rts":
+            if um.nbytes > req.buf.nbytes:
+                raise MatchingError(
+                    f"message of {um.nbytes} B overflows receive buffer "
+                    f"of {req.buf.nbytes} B")
+            self._rndv_recvs[req.req_id] = req
+            req.matched_from, req.matched_tag = um.source, um.tag
+            h = self.fabric.send_sys(
+                self.rank, um.source, "cts", CTS_BYTES,
+                payload={"send_id": um.send_id, "recv_id": req.req_id})
+            if h.cpu_busy:
+                yield self.engine.timeout(h.cpu_busy)
+        else:  # pragma: no cover - defensive
+            raise MatchingError(f"unknown unexpected kind {um.kind!r}")
+
+    @staticmethod
+    def _write_user(buf: np.ndarray, raw: Optional[np.ndarray],
+                    nbytes: int) -> None:
+        if raw is None or nbytes == 0:
+            return
+        flat = buf.reshape(-1).view(np.uint8)
+        flat[:nbytes] = raw[:nbytes]
+
+    # ------------------------------------------------------------------
+    # progress engine
+    # ------------------------------------------------------------------
+    def progress(self) -> Generator[object, object, int]:
+        """Drain the protocol inbox; returns the number of packets handled."""
+        handled = 0
+        while True:
+            ok, pkt = self.nic.sys_inbox.try_get()
+            if not ok:
+                break
+            handled += 1
+            yield from self._handle_packet(pkt)
+        return handled
+
+    def _handle_packet(self, pkt: SysPacket):
+        if pkt.ptype == "eager":
+            yield from self._on_eager(pkt)
+        elif pkt.ptype == "rts":
+            yield from self._on_rts(pkt)
+        elif pkt.ptype == "cts":
+            if not pkt.payload.get("async_handled"):
+                self._on_cts(pkt)
+        elif pkt.ptype == "rdata":
+            self._on_rdata(pkt)
+        elif pkt.ptype.startswith("pscw-") or pkt.ptype.startswith("ctrl-"):
+            self.ctrl_counts[(pkt.ptype, pkt.source)] += 1
+        else:
+            raise MatchingError(f"unknown protocol packet {pkt.ptype!r}")
+
+    def _match_posted(self, source: int, tag: int,
+                      context: int = 0) -> Optional[RecvRequest]:
+        for i, req in enumerate(self.posted):
+            if req.matches(source, tag, context):
+                del self.posted[i]
+                return req
+        return None
+
+    def _on_eager(self, pkt: SysPacket):
+        tag, nbytes = pkt.payload["tag"], pkt.payload["nbytes"]
+        context = pkt.payload.get("context", 0)
+        req = self._match_posted(pkt.source, tag, context)
+        if req is not None:
+            if nbytes > req.buf.nbytes:
+                raise MatchingError(
+                    f"message of {nbytes} B overflows receive buffer "
+                    f"of {req.buf.nbytes} B")
+            # Matching overhead plus the copy: NIC eager buffer -> user.
+            yield self.engine.timeout(self.params.mpi_overhead
+                                      + self._copy_cost(nbytes))
+            self._touch_bounce(nbytes, "eager-copy")
+            self.eager_copies += 1
+            self._write_user(req.buf, pkt.data, nbytes)
+            req.complete(Status(source=pkt.source, tag=tag, count=nbytes))
+        else:
+            # Copy into the bounce buffer for later matching.
+            yield self.engine.timeout(self._copy_cost(nbytes))
+            self._touch_bounce(nbytes, "eager-bounce-in")
+            self.bounce_copies += 1
+            self.unexpected.append(_Unexpected(
+                "eager", pkt.source, tag, nbytes, data=pkt.data,
+                context=context))
+
+    def _on_rts(self, pkt: SysPacket):
+        tag, nbytes = pkt.payload["tag"], pkt.payload["nbytes"]
+        send_id = pkt.payload["send_id"]
+        context = pkt.payload.get("context", 0)
+        req = self._match_posted(pkt.source, tag, context)
+        if req is not None:
+            if nbytes > req.buf.nbytes:
+                raise MatchingError(
+                    f"message of {nbytes} B overflows receive buffer "
+                    f"of {req.buf.nbytes} B")
+            self._rndv_recvs[req.req_id] = req
+            req.matched_from, req.matched_tag = pkt.source, tag
+            h = self.fabric.send_sys(
+                self.rank, pkt.source, "cts", CTS_BYTES,
+                payload={"send_id": send_id, "recv_id": req.req_id})
+            if h.cpu_busy:
+                yield self.engine.timeout(h.cpu_busy)
+        else:
+            self.unexpected.append(_Unexpected(
+                "rts", pkt.source, tag, nbytes, send_id=send_id,
+                context=context))
+
+    def _on_cts(self, pkt: SysPacket) -> None:
+        """Answer a CTS: start the zero-copy data leg (no generator — this
+        is also called from the async-progress fabric hook)."""
+        sreq = self._pending_sends.get(pkt.payload["send_id"])
+        if sreq is None:
+            raise MatchingError(
+                f"CTS for unknown send id {pkt.payload['send_id']}")
+        self._send_rndv_data(sreq, pkt.payload["recv_id"])
+
+    def _on_rdata(self, pkt: SysPacket) -> None:
+        req = self._rndv_recvs.pop(pkt.payload["recv_id"], None)
+        if req is None:
+            raise MatchingError(
+                f"rendezvous data for unknown recv id "
+                f"{pkt.payload['recv_id']}")
+        # Zero-copy: the NIC wrote the user buffer; no CPU copy is charged.
+        self._write_user(req.buf, pkt.data, pkt.nbytes)
+        req.complete(Status(source=pkt.source, tag=pkt.payload["tag"],
+                            count=pkt.nbytes))
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def wait(self, req: Request) -> Generator[object, object, Status]:
+        """Block until ``req`` completes; returns its :class:`Status`."""
+        while not req.done:
+            yield from self.progress()
+            if req.done:
+                break
+            if len(self.nic.sys_inbox):
+                continue
+            yield self.engine.any_of(
+                [self.nic.sys_arrival.wait(), req.completion])
+        assert req.status is not None
+        return req.status
+
+    def waitall(self, reqs: list[Request]) -> Generator[object, object,
+                                                        list[Status]]:
+        for req in reqs:
+            yield from self.wait(req)
+        return [r.status for r in reqs]  # type: ignore[misc]
+
+    def test(self, req: Request) -> Generator[object, object, bool]:
+        """Run one progress pass; returns True if ``req`` completed."""
+        yield from self.progress()
+        return req.done
+
+    # ------------------------------------------------------------------
+    # probe
+    # ------------------------------------------------------------------
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+               context: int = 0) -> Generator[object, object,
+                                              Optional[Status]]:
+        """Nonblocking probe of the unexpected queue (after progress)."""
+        yield from self.progress()
+        for um in self.unexpected:
+            if um.context != context:
+                continue
+            if ((source == ANY_SOURCE or source == um.source)
+                    and (tag == ANY_TAG or tag == um.tag)):
+                return Status(source=um.source, tag=um.tag, count=um.nbytes)
+        return None
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              context: int = 0) -> Generator[object, object, Status]:
+        """Blocking probe; the message stays queued for a later recv."""
+        while True:
+            st = yield from self.iprobe(source, tag, context)
+            if st is not None:
+                return st
+            if len(self.nic.sys_inbox):
+                continue
+            yield self.nic.sys_arrival.wait()
+
+    # ------------------------------------------------------------------
+    def ctrl_wait(self, ptype: str, sources: list[int],
+                  count_each: int = 1) -> Generator[object, object, None]:
+        """Wait until ``count_each`` control packets of ``ptype`` arrived
+        from every rank in ``sources`` (consumes the counts)."""
+        need = {s: count_each for s in sources if s != self.rank}
+        while True:
+            yield from self.progress()
+            for s in list(need):
+                have = self.ctrl_counts[(ptype, s)]
+                if have >= need[s]:
+                    self.ctrl_counts[(ptype, s)] -= need[s]
+                    del need[s]
+            if not need:
+                return
+            if len(self.nic.sys_inbox):
+                continue
+            yield self.nic.sys_arrival.wait()

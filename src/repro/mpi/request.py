@@ -1,0 +1,76 @@
+"""Request objects for nonblocking point-to-point operations."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from repro.mpi.status import Status
+from repro.sim.engine import Engine, Event
+
+_req_ids = itertools.count(1)
+
+
+class Request:
+    """A nonblocking operation handle; completed via the progress engine."""
+
+    __slots__ = ("req_id", "engine", "done", "status", "completion")
+
+    def __init__(self, engine: Engine):
+        self.req_id = next(_req_ids)
+        self.engine = engine
+        self.done = False
+        self.status: Optional[Status] = None
+        self.completion: Event = engine.event(name=f"req{self.req_id}")
+
+    def complete(self, status: Optional[Status] = None) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.status = status or Status()
+        if not self.completion.triggered:
+            self.completion.succeed(self.status)
+
+
+class SendRequest(Request):
+    """Tracks an in-flight send (eager or rendezvous)."""
+
+    __slots__ = ("dest", "tag", "nbytes", "data", "protocol", "rts_acked")
+
+    def __init__(self, engine: Engine, dest: int, tag: int,
+                 data: np.ndarray, protocol: str):
+        super().__init__(engine)
+        self.dest = dest
+        self.tag = tag
+        self.data = data
+        self.nbytes = int(data.nbytes)
+        self.protocol = protocol      # "eager" | "rndv"
+        self.rts_acked = False
+
+
+class RecvRequest(Request):
+    """A posted receive awaiting a match."""
+
+    __slots__ = ("buf", "source", "tag", "context", "matched_from",
+                 "matched_tag")
+
+    def __init__(self, engine: Engine, buf: np.ndarray, source: int,
+                 tag: int, context: int = 0):
+        super().__init__(engine)
+        if not isinstance(buf, np.ndarray):
+            raise TypeError("receive buffer must be a numpy array")
+        self.buf = buf
+        self.source = source
+        self.tag = tag
+        self.context = context
+        self.matched_from: Optional[int] = None
+        self.matched_tag: Optional[int] = None
+
+    def matches(self, source: int, tag: int, context: int = 0) -> bool:
+        from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+        if context != self.context:
+            return False
+        return ((self.source == ANY_SOURCE or self.source == source)
+                and (self.tag == ANY_TAG or self.tag == tag))

@@ -1,0 +1,108 @@
+"""Completion queues and 32-bit immediate-value encoding.
+
+uGNI lets an access carry a 4-byte immediate that is returned in a completion
+queue at the destination.  Like foMPI-NA we pack the source rank in the high
+16 bits and the tag in the low 16 bits — this is where the paper's limit on
+significant tag bits comes from, and the library enforces it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Optional
+
+from repro.errors import NetworkError
+from repro.sim.engine import Engine
+from repro.sim.resources import Signal
+
+#: Maximum encodable rank / tag (16 bits each inside the 32-bit immediate).
+MAX_IMM_RANK = 0xFFFF
+MAX_IMM_TAG = 0xFFFF
+
+
+def encode_immediate(source: int, tag: int) -> int:
+    """Pack (source, tag) into a 32-bit immediate, like foMPI-NA on uGNI."""
+    if not 0 <= source <= MAX_IMM_RANK:
+        raise NetworkError(f"source rank {source} exceeds 16-bit immediate")
+    if not 0 <= tag <= MAX_IMM_TAG:
+        raise NetworkError(
+            f"tag {tag} exceeds the {MAX_IMM_TAG:#x} significant tag bits "
+            "supported by the 32-bit immediate")
+    return (source << 16) | tag
+
+
+def decode_immediate(imm: int) -> tuple[int, int]:
+    """Unpack a 32-bit immediate into (source, tag)."""
+    return (imm >> 16) & 0xFFFF, imm & 0xFFFF
+
+
+@dataclass
+class CqEntry:
+    """One completion-queue entry.
+
+    ``kind`` is ``"put"``, ``"get"``, ``"amo"``, or ``"ctrl"``.  For
+    destination-CQ entries, ``immediate`` carries the packed (source, tag)
+    and ``win_id`` names the exposed window the access targeted.  ``inline``
+    carries the payload for shared-memory inline transfers.
+    """
+
+    kind: str
+    source: int
+    target: int
+    nbytes: int
+    time: float
+    immediate: Optional[int] = None
+    win_id: Optional[int] = None
+    target_addr: Optional[int] = None
+    local_id: Optional[int] = None   # matches a pending handle at the origin
+    inline: Optional[Any] = None     # numpy payload for shm inline transfer
+    meta: dict = field(default_factory=dict)
+
+
+class CompletionQueue:
+    """A FIFO of :class:`CqEntry` with an arrival signal.
+
+    Bounded if ``capacity`` is given — posting to a full bounded CQ raises,
+    modelling the overrun failure mode of real hardware CQs (the paper's
+    shared-memory ring is bounded; §IV-C).
+    """
+
+    def __init__(self, engine: Engine, name: str = "",
+                 capacity: Optional[int] = None):
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self._entries: Deque[CqEntry] = deque()
+        self.arrival = Signal(engine, name=f"cq:{name}")
+        self.posted = 0
+        self.polled = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def post(self, entry: CqEntry) -> None:
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            raise NetworkError(
+                f"completion queue {self.name!r} overrun "
+                f"(capacity {self.capacity})")
+        self._entries.append(entry)
+        self.posted += 1
+        self.arrival.fire(entry)
+
+    def poll(self) -> Optional[CqEntry]:
+        """Pop the oldest entry, or None if empty (non-blocking)."""
+        if self._entries:
+            self.polled += 1
+            return self._entries.popleft()
+        return None
+
+    def wait_arrival(self):
+        """Event that fires at the next post (yield it from a process)."""
+        return self.arrival.wait()
+
+    def drain(self) -> list[CqEntry]:
+        out = list(self._entries)
+        self.polled += len(out)
+        self._entries.clear()
+        return out

@@ -1,0 +1,509 @@
+"""The fabric: per-rank NICs and the RDMA operations they execute.
+
+Every remote operation moves real bytes between per-rank
+:class:`~repro.memory.address.AddressSpace` objects, priced by the transport
+engines.  An operation returns an :class:`OpHandle` whose events fire at
+
+* ``local_done`` — the origin buffer is reusable (put) or the data has
+  arrived (get),
+* ``remote_done`` — the remote commit has been acknowledged at the origin
+  (what ``MPI_Win_flush`` waits for; carries the fetched value for AMOs).
+
+Notified operations additionally post a :class:`~repro.network.cq.CqEntry`
+carrying the 32-bit immediate to the **destination completion queue** of the
+process whose memory was accessed — for a put that is the target, and for a
+get it is *also* the target (the owner of the data that was read), per the
+paper's notified-read semantics (§VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.memory.address import AddressSpace
+from repro.network.cq import CompletionQueue, CqEntry
+from repro.network.loggp import TransportParams
+from repro.network.topology import Machine
+from repro.network.transports.base import TransferPlan
+from repro.network.transports.shm import ShmTransport
+from repro.network.transports.ugni import BteEngine, FmaEngine
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import Signal, Store
+from repro.sim.rng import RngStream
+from repro.sim.trace import Tracer
+
+#: header sizes charged for control-only wire messages (bytes)
+GET_REQUEST_BYTES = 16
+AMO_REQUEST_BYTES = 24
+AMO_RESPONSE_BYTES = 16
+
+
+@dataclass
+class OpHandle:
+    """Events and cost of one issued RDMA operation."""
+
+    kind: str
+    cpu_busy: float
+    local_done: Event
+    remote_done: Event
+    nbytes: int = 0
+    target: int = -1
+    commit_at: float = 0.0    # absolute time the data commits remotely
+
+
+@dataclass
+class SysPacket:
+    """A software-handled protocol message (MP eager/rendezvous, RMA ctrl)."""
+
+    ptype: str
+    source: int
+    target: int
+    nbytes: int
+    payload: dict = field(default_factory=dict)
+    data: Optional[np.ndarray] = None
+    time: float = 0.0
+
+
+class Nic:
+    """One rank's network interface."""
+
+    def __init__(self, fabric: "Fabric", rank: int):
+        self.fabric = fabric
+        self.rank = rank
+        params = fabric.params
+        eng = fabric.engine
+        self.fma = FmaEngine(eng, params.fma, name=str(rank))
+        self.bte = BteEngine(eng, params.bte, name=str(rank))
+        self.shm = ShmTransport(eng, params, name=str(rank))
+        #: notifications for Notified Access land here
+        self.dest_cq = CompletionQueue(eng, name=f"dest:{rank}")
+        #: shared-memory notification ring (bounded, §IV-C)
+        self.shm_ring = CompletionQueue(eng, name=f"ring:{rank}",
+                                        capacity=params.shm_ring_entries)
+        #: software protocol messages (MP, PSCW control)
+        self.sys_inbox: Store = Store(eng, name=f"sys:{rank}")
+        self.sys_arrival = Signal(eng, name=f"sysarr:{rank}")
+        self.ops_issued = 0
+        #: receive-side link occupancy horizon (incast serialization)
+        self.rx_next_free = 0.0
+        self.rx_bytes = 0
+
+    def poll_notification(self) -> Optional[CqEntry]:
+        """Pop the oldest notification across uGNI CQ and shm ring.
+
+        The foMPI-NA target checks the uGNI destination CQ and the XPMEM
+        ring; we merge them oldest-first for deterministic matching order.
+        """
+        a, b = self.dest_cq, self.shm_ring
+        if len(a) and len(b):
+            # Compare head timestamps without popping.
+            ta = a._entries[0].time
+            tb = b._entries[0].time
+            return a.poll() if ta <= tb else b.poll()
+        if len(a):
+            return a.poll()
+        if len(b):
+            return b.poll()
+        return None
+
+    def notification_pending(self) -> bool:
+        return len(self.dest_cq) > 0 or len(self.shm_ring) > 0
+
+    def notification_arrival(self) -> Event:
+        """Event firing on the next notification post to either queue."""
+        return self.fabric.engine.any_of(
+            [self.dest_cq.wait_arrival(), self.shm_ring.wait_arrival()])
+
+
+class Fabric:
+    """All NICs plus the machinery to execute operations between them."""
+
+    def __init__(self, engine: Engine, machine: Machine,
+                 spaces: list[AddressSpace],
+                 params: Optional[TransportParams] = None,
+                 tracer: Optional[Tracer] = None, seed: int = 42):
+        if len(spaces) != machine.nranks:
+            raise NetworkError("one address space per rank required")
+        self.engine = engine
+        self.machine = machine
+        self.spaces = spaces
+        self.params = params or TransportParams()
+        self.tracer = tracer or Tracer(enabled=False)
+        self.rng = RngStream(seed, "fabric")
+        self.nics = [Nic(self, r) for r in range(machine.nranks)]
+        #: optional hook invoked at sys-packet arrival (async progress)
+        self.on_sys_arrival: Optional[Callable[[int, SysPacket], None]] = None
+
+    # ------------------------------------------------------------------
+    def nic(self, rank: int) -> Nic:
+        return self.nics[rank]
+
+    def _at(self, t_abs: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at absolute engine time ``t_abs``."""
+        ev = self.engine.event()
+        ev.callbacks.append(lambda _e: fn())
+        ev.succeed(None, delay=max(t_abs - self.engine.now, 0.0))
+
+    def _hop_extra(self, origin: int, target: int) -> float:
+        """Extra latency for inter-group (dragonfly global-link) paths."""
+        if (self.params.inter_group_L_extra
+                and not self.machine.same_group(origin, target)):
+            return self.params.inter_group_L_extra
+        return 0.0
+
+    def _rx_reserve(self, target: int, ideal_commit: float, nbytes: int,
+                    G: float) -> float:
+        """Serialize arrivals at the target NIC's ingest link.
+
+        The byte stream occupies the receive link for ``nbytes * G`` ending
+        at the commit: a lone flow commits exactly at ``ideal_commit``
+        (LogGP charges G once along the path), while concurrent flows into
+        one NIC queue behind each other — the incast behaviour a real
+        Aries NIC exhibits.
+        """
+        nic = self.nics[target]
+        occupancy = nbytes * G
+        start = max(ideal_commit - occupancy, nic.rx_next_free)
+        end = start + occupancy
+        nic.rx_next_free = end
+        nic.rx_bytes += nbytes
+        return end
+
+    def _drop_penalty(self) -> float:
+        """Extra delay from retransmissions on a lossy network."""
+        p = self.params.drop_rate
+        if p <= 0.0:
+            return 0.0
+        extra = 0.0
+        tries = 0
+        while tries < 5 and self.rng.random() < p:
+            extra += self.params.rto
+            tries += 1
+        return extra
+
+    def _post_notification(self, origin: int, accessed: int, kind: str,
+                           nbytes: int, immediate: int, win_id: Optional[int],
+                           target_addr: Optional[int], when: float,
+                           same_node: bool,
+                           inline: Optional[np.ndarray] = None) -> None:
+        """Post a dest-CQ/ring entry at ``accessed`` rank at time ``when``."""
+        nic = self.nics[accessed]
+        queue = nic.shm_ring if same_node else nic.dest_cq
+
+        def deliver() -> None:
+            queue.post(CqEntry(kind=kind, source=origin, target=accessed,
+                               nbytes=nbytes, time=self.engine.now,
+                               immediate=immediate, win_id=win_id,
+                               target_addr=target_addr, inline=inline))
+
+        self._at(when, deliver)
+
+    # ------------------------------------------------------------------
+    # RDMA put
+    # ------------------------------------------------------------------
+    def put(self, origin: int, target: int, target_addr: int,
+            data: np.ndarray, *, win_id: Optional[int] = None,
+            immediate: Optional[int] = None,
+            accumulate: Optional[str] = None,
+            acc_dtype=np.float64,
+            scatter: Optional[list[tuple[int, int]]] = None) -> OpHandle:
+        """RDMA write of ``data`` into ``target``'s memory.
+
+        If ``immediate`` is set this is a *notified* put: a CQ entry carrying
+        the immediate is posted at the target when (and only when) the data
+        is committed — the single-transaction guarantee of Figure 2d.
+
+        ``accumulate`` turns the commit into an element-wise update
+        (``"sum"``, ``"max"``, ``"min"``, ``"replace"``) on ``acc_dtype``
+        elements, the MPI_Accumulate semantics.
+
+        ``scatter`` is an optional list of absolute ``(addr, nbytes)``
+        target blocks (an RDMA scatter-gather list): the packed ``data`` is
+        split across them in order within the same single transaction.
+        ``target_addr`` is ignored when it is given.
+        """
+        raw = np.ascontiguousarray(data).view(np.uint8).ravel().copy()
+        nbytes = raw.nbytes
+        if scatter is not None:
+            if sum(b for _, b in scatter) != nbytes:
+                raise NetworkError(
+                    "scatter-gather list does not cover the payload")
+            target_addr = scatter[0][0] if scatter else target_addr
+        same = self.machine.same_node(origin, target)
+        nic = self.nics[origin]
+        nic.ops_issued += 1
+
+        if same:
+            inline = (immediate is not None
+                      and nic.shm.is_inline(nbytes))
+            plan = nic.shm.plan_put(nbytes)
+        else:
+            inline = False
+            eng = nic.fma if nbytes <= self.params.fma_max else nic.bte
+            plan = eng.plan(nbytes, extra_delay=self._drop_penalty()
+                            + self._hop_extra(origin, target))
+            commit = self._rx_reserve(target, plan.commit_at, nbytes,
+                                      eng.params.G)
+            plan = TransferPlan(cpu_busy=plan.cpu_busy,
+                                inject_end=plan.inject_end,
+                                commit_at=commit,
+                                ack_at=commit + eng.params.L)
+
+        self.tracer.emit(self.engine.now, "wire", origin, target, nbytes,
+                         op="put", medium="shm" if same else "ugni",
+                         notified=immediate is not None)
+
+        local_done = self.engine.event(name=f"put.local:{origin}->{target}")
+        remote_done = self.engine.event(name=f"put.remote:{origin}->{target}")
+        space = self.spaces[target]
+
+        def commit() -> None:
+            if not nbytes:
+                return
+            if scatter is not None:
+                pos = 0
+                for addr, blen in scatter:
+                    space.copy_in(addr, raw[pos:pos + blen])
+                    pos += blen
+                return
+            if accumulate is None or accumulate == "replace":
+                space.copy_in(target_addr, raw)
+                return
+            ufunc = {"sum": np.add, "max": np.maximum,
+                     "min": np.minimum}.get(accumulate)
+            if ufunc is None:
+                raise NetworkError(f"unknown accumulate op {accumulate!r}")
+            dst = space.mem[target_addr:target_addr + nbytes].view(acc_dtype)
+            ufunc(dst, raw.view(acc_dtype), out=dst)
+
+        self._at(plan.commit_at, commit)
+        if immediate is not None:
+            self._post_notification(
+                origin, target, "put", nbytes, immediate, win_id,
+                target_addr, plan.commit_at, same,
+                inline=(raw if inline else None))
+        # Origin buffer reuse: data was snapshotted at injection.
+        self._at(plan.inject_end, lambda: local_done.succeed(None))
+        self._at(plan.ack_at, lambda: remote_done.succeed(None))
+        return OpHandle("put", plan.cpu_busy, local_done, remote_done,
+                        nbytes=nbytes, target=target,
+                        commit_at=plan.commit_at)
+
+    # ------------------------------------------------------------------
+    # RDMA get
+    # ------------------------------------------------------------------
+    def get(self, origin: int, target: int, target_addr: int, nbytes: int,
+            local_addr: int, *, win_id: Optional[int] = None,
+            immediate: Optional[int] = None,
+            gather: Optional[list[tuple[int, int]]] = None,
+            scatter: Optional[list[tuple[int, int]]] = None) -> OpHandle:
+        """RDMA read of ``nbytes`` from ``target`` into origin memory.
+
+        A *notified* get (``immediate`` set) notifies the **target** — the
+        owner of the read buffer — that its data has been read and the buffer
+        may be reused.  On a reliable fabric the notification fires when the
+        read is served at the target (§VIII case 1); with ``reliable=False``
+        it fires only after the data reached the origin plus a return ack
+        (§VIII case 2), one extra round trip later.
+        """
+        same = self.machine.same_node(origin, target)
+        nic = self.nics[origin]
+        nic.ops_issued += 1
+        p = self.params
+        for name, sg in (("gather", gather), ("scatter", scatter)):
+            if sg is not None and sum(b for _, b in sg) != nbytes:
+                raise NetworkError(
+                    f"{name} list does not cover the {nbytes}-byte payload")
+        if gather is not None and gather:
+            target_addr = gather[0][0]
+
+        local_done = self.engine.event(name=f"get.local:{origin}<-{target}")
+        remote_done = self.engine.event(name=f"get.remote:{origin}<-{target}")
+        tspace = self.spaces[target]
+        ospace = self.spaces[origin]
+
+        if same:
+            plan = nic.shm.plan_get(nbytes)
+            serve_at = plan.commit_at
+            data_at = plan.commit_at
+            notify_at = plan.commit_at
+            cpu_busy = plan.cpu_busy
+            self.tracer.emit(self.engine.now, "wire", origin, target, nbytes,
+                             op="get", medium="shm",
+                             notified=immediate is not None)
+        else:
+            # Request leg: small header through the origin FMA engine.
+            hop = self._hop_extra(origin, target)
+            req = nic.fma.plan(GET_REQUEST_BYTES,
+                               extra_delay=self._drop_penalty() + hop)
+            cpu_busy = req.cpu_busy
+            # Response leg: served by the target NIC's engine of proper size.
+            tnic = self.nics[target]
+            teng = tnic.fma if nbytes <= p.fma_max else tnic.bte
+            resp = teng.plan(nbytes, extra_delay=self._drop_penalty() + hop,
+                             not_before=req.commit_at)
+            serve_at = resp.inject_end
+            data_at = self._rx_reserve(origin, resp.commit_at, nbytes,
+                                       teng.params.G)
+            if p.reliable:
+                notify_at = serve_at
+            else:
+                # Data must reach the origin, then an ack returns (§VIII).
+                notify_at = data_at + p.fma.L
+            self.tracer.emit(self.engine.now, "wire", origin, target,
+                             GET_REQUEST_BYTES, op="get-req", medium="ugni")
+            self.tracer.emit(self.engine.now, "wire", target, origin, nbytes,
+                             op="get-resp", medium="ugni",
+                             notified=immediate is not None)
+
+        # Snapshot at serve time (the value read is the value at serve).
+        snapshot: list[Optional[np.ndarray]] = [None]
+
+        def serve() -> None:
+            if not nbytes:
+                return
+            if gather is not None:
+                parts = [tspace.copy_out(a, b) for a, b in gather]
+                snapshot[0] = np.concatenate(parts)
+            else:
+                snapshot[0] = tspace.copy_out(target_addr, nbytes)
+
+        def deliver() -> None:
+            if not nbytes:
+                return
+            if scatter is not None:
+                pos = 0
+                for addr, blen in scatter:
+                    ospace.copy_in(addr, snapshot[0][pos:pos + blen])
+                    pos += blen
+            else:
+                ospace.copy_in(local_addr, snapshot[0])
+
+        self._at(serve_at, serve)
+        self._at(data_at, deliver)
+        self._at(data_at, lambda: local_done.succeed(None))
+        self._at(data_at, lambda: remote_done.succeed(None))
+        if immediate is not None:
+            self._post_notification(origin, target, "get", nbytes, immediate,
+                                    win_id, target_addr, notify_at, same)
+        return OpHandle("get", cpu_busy, local_done, remote_done,
+                        nbytes=nbytes, target=target, commit_at=data_at)
+
+    # ------------------------------------------------------------------
+    # Atomic memory operations
+    # ------------------------------------------------------------------
+    def amo(self, origin: int, target: int, target_addr: int, op: str,
+            operand: int, compare: Optional[int] = None, *,
+            dtype=np.int64, win_id: Optional[int] = None,
+            immediate: Optional[int] = None) -> OpHandle:
+        """Remote atomic: ``op`` in {"sum", "replace", "cas", "no_op"}.
+
+        ``remote_done`` fires at the origin carrying the *old* value
+        (fetch-and-op / compare-and-swap semantics).
+        """
+        if op not in ("sum", "replace", "cas", "no_op"):
+            raise NetworkError(f"unknown atomic op {op!r}")
+        same = self.machine.same_node(origin, target)
+        nic = self.nics[origin]
+        nic.ops_issued += 1
+        itemsize = np.dtype(dtype).itemsize
+
+        if same:
+            plan = nic.shm.plan_amo()
+            exec_at = self.engine.now + self.params.shm.L
+            done_at = plan.commit_at
+            cpu_busy = plan.cpu_busy
+            self.tracer.emit(self.engine.now, "wire", origin, target,
+                             itemsize, op=f"amo-{op}", medium="shm")
+        else:
+            hop = self._hop_extra(origin, target)
+            req = nic.fma.plan(AMO_REQUEST_BYTES,
+                               extra_delay=self._drop_penalty() + hop)
+            cpu_busy = req.cpu_busy
+            exec_at = req.commit_at
+            done_at = exec_at + self.params.fma.L + hop
+            self.tracer.emit(self.engine.now, "wire", origin, target,
+                             AMO_REQUEST_BYTES, op=f"amo-{op}", medium="ugni")
+            self.tracer.emit(self.engine.now, "wire", target, origin,
+                             AMO_RESPONSE_BYTES, op="amo-resp", medium="ugni")
+
+        tspace = self.spaces[target]
+        local_done = self.engine.event(name=f"amo.local:{origin}->{target}")
+        remote_done = self.engine.event(name=f"amo.remote:{origin}->{target}")
+        result: list[int] = [0]
+
+        def execute() -> None:
+            view = tspace.mem[target_addr:target_addr + itemsize].view(dtype)
+            old = view[0].item()
+            result[0] = old
+            if op == "sum":
+                view[0] = old + operand
+            elif op == "replace":
+                view[0] = operand
+            elif op == "cas":
+                if old == compare:
+                    view[0] = operand
+            # "no_op" fetches without modifying.
+
+        self._at(exec_at, execute)
+        if immediate is not None:
+            self._post_notification(origin, target, "amo", itemsize,
+                                    immediate, win_id, target_addr, exec_at,
+                                    same)
+        self._at(done_at, lambda: local_done.succeed(None))
+        self._at(done_at, lambda: remote_done.succeed(result[0]))
+        return OpHandle("amo", cpu_busy, local_done, remote_done,
+                        nbytes=itemsize, target=target, commit_at=exec_at)
+
+    # ------------------------------------------------------------------
+    # Software protocol messages (message passing, RMA control)
+    # ------------------------------------------------------------------
+    def send_sys(self, origin: int, target: int, ptype: str, nbytes: int,
+                 payload: Optional[dict] = None,
+                 data: Optional[np.ndarray] = None) -> OpHandle:
+        """Send a protocol message handled in software at the target.
+
+        Carries an optional python ``payload`` (headers) and an optional
+        ``data`` snapshot (the eager-protocol bounce-buffer copy).  The wire
+        cost is priced like a put of ``nbytes``.
+        """
+        same = self.machine.same_node(origin, target)
+        nic = self.nics[origin]
+        if same:
+            plan = nic.shm.plan_put(nbytes)
+        else:
+            eng = nic.fma if nbytes <= self.params.fma_max else nic.bte
+            plan = eng.plan(nbytes, extra_delay=self._drop_penalty()
+                            + self._hop_extra(origin, target))
+            commit = self._rx_reserve(target, plan.commit_at, nbytes,
+                                      eng.params.G)
+            plan = TransferPlan(cpu_busy=plan.cpu_busy,
+                                inject_end=plan.inject_end,
+                                commit_at=commit,
+                                ack_at=commit + eng.params.L)
+        self.tracer.emit(self.engine.now, "wire", origin, target, nbytes,
+                         op=f"sys-{ptype}", medium="shm" if same else "ugni")
+        local_done = self.engine.event(name=f"sys.local:{origin}->{target}")
+        remote_done = self.engine.event(name=f"sys.remote:{origin}->{target}")
+        snapshot = None if data is None else np.ascontiguousarray(
+            data).view(np.uint8).ravel().copy()
+
+        def deliver() -> None:
+            pkt = SysPacket(ptype=ptype, source=origin, target=target,
+                            nbytes=nbytes, payload=dict(payload or {}),
+                            data=snapshot, time=self.engine.now)
+            tnic = self.nics[target]
+            tnic.sys_inbox.put(pkt)
+            tnic.sys_arrival.fire(pkt)
+            if self.on_sys_arrival is not None:
+                self.on_sys_arrival(target, pkt)
+
+        self._at(plan.commit_at, deliver)
+        self._at(plan.inject_end, lambda: local_done.succeed(None))
+        self._at(plan.ack_at, lambda: remote_done.succeed(None))
+        return OpHandle(f"sys-{ptype}", plan.cpu_busy, local_done,
+                        remote_done, nbytes=nbytes, target=target)

@@ -1,0 +1,13 @@
+"""Transport engines: uGNI-like FMA/BTE and XPMEM-like shared memory."""
+
+from repro.network.transports.base import InjectEngine, TransferPlan
+from repro.network.transports.ugni import FmaEngine, BteEngine
+from repro.network.transports.shm import ShmTransport
+
+__all__ = [
+    "InjectEngine",
+    "TransferPlan",
+    "FmaEngine",
+    "BteEngine",
+    "ShmTransport",
+]

@@ -1,0 +1,60 @@
+"""Composite events: wait for all or any of a set of events."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.engine import Event, Engine, URGENT
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf; value is a dict {event: value} of fired events."""
+
+    __slots__ = ("_events", "_fired")
+
+    def __init__(self, engine: Engine, events: list[Event]):
+        super().__init__(engine)
+        self._events = list(events)
+        self._fired: dict[Event, Any] = {}
+        for ev in self._events:
+            if not isinstance(ev, Event):
+                raise TypeError(f"condition over non-event {ev!r}")
+        if not self._events:
+            self.succeed({}, priority=URGENT)
+            return
+        for ev in self._events:
+            if ev.processed:
+                self._collect(ev)
+            else:
+                ev.callbacks.append(self._collect)
+
+    def _collect(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc, priority=URGENT)
+            return
+        self._fired[ev] = ev._value
+        if self._done():
+            self.succeed(dict(self._fired), priority=URGENT)
+
+    def _done(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers once every constituent event has triggered."""
+
+    __slots__ = ()
+
+    def _done(self) -> bool:
+        return len(self._fired) == len(self._events)
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as one constituent event triggers."""
+
+    __slots__ = ()
+
+    def _done(self) -> bool:
+        return len(self._fired) >= 1

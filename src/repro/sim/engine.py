@@ -1,0 +1,306 @@
+"""The discrete-event engine: events, timeouts, processes, and the run loop.
+
+Virtual time is a ``float`` measured in **microseconds** — the natural unit of
+the paper's LogGP parameters (L is ~1 µs on uGNI, G is fractions of a ns/byte).
+
+The core protocol: a simulated activity is a Python generator.  It yields
+:class:`Event` objects and is resumed with the event's value when the event
+triggers.  Composition uses plain ``yield from``, which lets the MPI-like
+layers expose blocking-looking calls (``yield from comm.send(...)``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import DeadlockError, SimulationError
+
+#: Events scheduled with URGENT priority fire before NORMAL ones at equal time.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* when :meth:`succeed` or
+    :meth:`fail` is called (which schedules it on the engine), and *processed*
+    once the engine has run its callbacks.  Processes waiting on the event are
+    resumed with :attr:`value` (or have the failure exception thrown in).
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_exc", "_state", "name")
+
+    PENDING = 0
+    TRIGGERED = 1
+    PROCESSED = 2
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._state = Event.PENDING
+        self.name = name
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state != Event.PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == Event.PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully (not failed)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError(f"value of untriggered event {self!r}")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0,
+                priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = value
+        self._state = Event.TRIGGERED
+        self.engine._schedule(self, delay, priority)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0,
+             priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed; waiters get ``exc`` thrown in."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exc = exc
+        self._state = Event.TRIGGERED
+        self.engine._schedule(self, delay, priority)
+        return self
+
+    def _process(self) -> None:
+        self._state = Event.PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("pending", "triggered", "processed")[self._state]
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(engine)
+        self._value = value
+        self._state = Event.TRIGGERED
+        engine._schedule(self, delay, NORMAL)
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends.
+
+    The generator may ``return value``; waiters on the process receive it.
+    Uncaught exceptions inside the generator fail the process event; if
+    nothing is waiting on the process, the exception propagates out of
+    :meth:`Engine.run` so bugs never vanish silently.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "_defused")
+
+    def __init__(self, engine: "Engine",
+                 gen: Generator[Event, Any, Any], name: str = ""):
+        super().__init__(engine, name=name or getattr(gen, "__name__", ""))
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process body must be a generator, got {gen!r}")
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self._defused = False
+        # Kick off at the current time (insertion order preserved).
+        init = Event(engine, name=f"init:{self.name}")
+        init.callbacks.append(self._resume)
+        init.succeed(None, priority=URGENT)
+        engine._register_process(self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self!r}")
+        if self._waiting_on is not None:
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        hit = Event(self.engine, name=f"interrupt:{self.name}")
+        hit.callbacks.append(lambda ev: self._step(throw=Interrupt(cause)))
+        hit.succeed(None, priority=URGENT)
+
+    # -- internal -----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._exc is not None:
+            self._step(throw=event._exc)
+        else:
+            self._step(send=event._value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None):
+        if self.triggered:  # already finished (e.g. raced interrupt)
+            return
+        self.engine._active_process = self
+        try:
+            if throw is not None:
+                target = self._gen.throw(throw)
+            else:
+                target = self._gen.send(send)
+        except StopIteration as stop:
+            self.engine._unregister_process(self)
+            self.succeed(stop.value, priority=URGENT)
+            return
+        except BaseException as exc:
+            self.engine._unregister_process(self)
+            self._defused = bool(self.callbacks)
+            if not self._defused:
+                # Nobody is waiting: surface the crash from Engine.run().
+                self.engine._crash(exc, self)
+            self.fail(exc, priority=URGENT)
+            return
+        finally:
+            self.engine._active_process = None
+
+        if not isinstance(target, Event):
+            self._gen.throw(SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        if target.processed:
+            # Already fired: resume immediately (but via the queue to keep
+            # deterministic ordering).
+            relay = Event(self.engine)
+            relay._value, relay._exc = target._value, target._exc
+            relay.callbacks.append(self._resume)
+            relay._state = Event.TRIGGERED
+            self.engine._schedule(relay, 0.0, URGENT)
+            self._waiting_on = relay
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class Engine:
+    """The event loop.  ``now`` is virtual time in microseconds."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+        self._processes: dict[int, Process] = {}
+        self._crashed: Optional[tuple[BaseException, Process]] = None
+
+    # -- public factory helpers ---------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        from repro.sim.conditions import AllOf
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        from repro.sim.conditions import AnyOf
+        return AnyOf(self, list(events))
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        heapq.heappush(self._heap,
+                       (self.now + delay, priority, next(self._seq), event))
+
+    def _register_process(self, proc: Process) -> None:
+        self._processes[id(proc)] = proc
+
+    def _unregister_process(self, proc: Process) -> None:
+        self._processes.pop(id(proc), None)
+
+    def _crash(self, exc: BaseException, proc: Process) -> None:
+        if self._crashed is None:
+            self._crashed = (exc, proc)
+
+    # -- run loop -----------------------------------------------------------
+    def step(self) -> None:
+        """Process one event off the heap."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        event._process()
+        if self._crashed is not None:
+            exc, proc = self._crashed
+            self._crashed = None
+            raise SimulationError(
+                f"process {proc.name!r} crashed at t={self.now:.3f}us"
+            ) from exc
+
+    def run(self, until: Optional[float] = None,
+            detect_deadlock: bool = True) -> float:
+        """Run until the heap empties or ``until`` (µs) is reached.
+
+        Returns the final virtual time.  If processes remain alive when the
+        heap drains and ``detect_deadlock`` is set, raises
+        :class:`DeadlockError` naming the blocked processes — a simulated
+        program that hangs should fail loudly, like a real MPI job timeout.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"run(until={until}) is in the past")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return self.now
+            self.step()
+        if detect_deadlock and self._processes:
+            blocked = [p.name or f"pid{pid}"
+                       for pid, p in self._processes.items()]
+            raise DeadlockError(blocked)
+        return self.now
+
+    def peek(self) -> float:
+        """Time of the next event, or ``float('inf')`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")

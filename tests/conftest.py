@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.network.loggp import TransportParams
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def params() -> TransportParams:
+    return TransportParams()
+
+
+def run_cluster(nranks: int, program, *, check=None, **cfg_kw):
+    """Run ``program`` on a fresh cluster; returns (results, cluster)."""
+    cluster = Cluster(ClusterConfig(nranks=nranks, **cfg_kw))
+    results = cluster.run(program)
+    if check is not None:
+        check(results, cluster)
+    return results, cluster
+
+
+def filled(n: int, value: float = 1.0, dtype=np.float64) -> np.ndarray:
+    return np.full(n, value, dtype=dtype)

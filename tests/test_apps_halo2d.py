@@ -1,0 +1,53 @@
+"""2D Jacobi halo exchange: numerics vs serial reference, and shapes."""
+
+import pytest
+
+from repro.apps.halo2d import HALO2D_MODES, _process_grid, run_halo2d
+from repro.errors import ReproError
+
+
+def test_process_grid_factorization():
+    assert _process_grid(1) == (1, 1)
+    assert _process_grid(4) == (2, 2)
+    assert _process_grid(6) == (2, 3)
+    assert _process_grid(7) == (1, 7)
+    assert _process_grid(12) == (3, 4)
+
+
+@pytest.mark.parametrize("mode", HALO2D_MODES)
+@pytest.mark.parametrize("nranks,g", [(1, 8), (2, 8), (4, 16), (6, 24)])
+def test_numerics_match_serial_jacobi(mode, nranks, g):
+    r = run_halo2d(mode, nranks, g=g, iters=4, verify=True)
+    assert r["max_error"] == pytest.approx(0.0, abs=1e-12)
+
+
+@pytest.mark.parametrize("mode", HALO2D_MODES)
+def test_many_iterations_reuse_slots(mode):
+    """More iterations than parities: double-buffered halo slots cycle."""
+    r = run_halo2d(mode, 4, g=12, iters=9, verify=True)
+    assert r["max_error"] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_invalid_args_rejected():
+    with pytest.raises(ReproError):
+        run_halo2d("bogus", 4, g=16)
+    with pytest.raises(Exception):
+        run_halo2d("na", 4, g=15)     # not divisible by process grid
+
+
+def test_na_fastest_mode():
+    perf = {m: run_halo2d(m, 4, g=64, iters=6)["mlups"]
+            for m in HALO2D_MODES}
+    assert perf["na"] > perf["mp"] > perf["pscw"]
+
+
+def test_skewed_neighbours_cannot_corrupt_parity():
+    """Uneven per-rank compute rates skew the iteration fronts; parity-
+    bound tags must keep each iteration's count exact."""
+    from repro.cluster import ClusterConfig
+
+    # Low flops rate -> compute time differs strongly between block sizes;
+    # with a non-square process grid the corner ranks run ahead.
+    cfg = ClusterConfig(nranks=6, flops_per_us=300.0)
+    r = run_halo2d("na", 6, g=24, iters=7, verify=True, config=cfg)
+    assert r["max_error"] == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,50 @@
+"""Dynamic particle exchange (§VI-B motif)."""
+
+import pytest
+
+from repro.apps.particles import PARTICLE_MODES, run_particles
+from repro.errors import ReproError
+
+
+@pytest.mark.parametrize("mode", PARTICLE_MODES)
+@pytest.mark.parametrize("nranks", [1, 2, 3, 6])
+def test_trajectories_match_serial_reference(mode, nranks):
+    r = run_particles(mode, nranks, per_rank=40, steps=6, verify=True)
+    assert r["max_error"] == pytest.approx(0.0, abs=1e-12)
+    assert r["particles_conserved"]
+
+
+@pytest.mark.parametrize("mode", PARTICLE_MODES)
+def test_many_steps_parity_slot_reuse(mode):
+    r = run_particles(mode, 4, per_rank=30, steps=15, verify=True)
+    assert r["max_error"] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ReproError):
+        run_particles("bogus", 2)
+
+
+def test_na_termination_scales_flat():
+    """The §VI-B point: NA replaces the per-step global allreduce with
+    point-to-point done-notifications, so step cost is flat in P while
+    the MP termination grows."""
+    t_mp = {p: run_particles("mp", p, per_rank=40,
+                             steps=6)["time_us"] for p in (2, 8)}
+    t_na = {p: run_particles("na", p, per_rank=40,
+                             steps=6)["time_us"] for p in (2, 8)}
+    assert t_na[8] < t_na[2] * 1.5          # flat-ish
+    assert t_mp[8] > t_mp[2] * 1.5          # allreduce grows
+    assert t_na[8] < t_mp[8]
+
+
+def test_determinism_same_seed():
+    a = run_particles("na", 3, per_rank=30, steps=5, seed=9, verify=True)
+    b = run_particles("na", 3, per_rank=30, steps=5, seed=9, verify=True)
+    assert a["time_us"] == b["time_us"]
+
+
+def test_seed_changes_workload():
+    a = run_particles("na", 3, per_rank=30, steps=5, seed=1)
+    b = run_particles("na", 3, per_rank=30, steps=5, seed=2)
+    assert a["time_us"] != b["time_us"]

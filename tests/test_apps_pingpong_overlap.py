@@ -1,0 +1,87 @@
+"""Ping-pong and overlap application drivers."""
+
+import pytest
+
+from repro.apps.overlap import OVERLAP_MODES, run_overlap
+from repro.apps.pingpong import PINGPONG_MODES, run_pingpong
+from repro.errors import ReproError
+
+
+@pytest.mark.parametrize("mode", PINGPONG_MODES)
+def test_all_pingpong_modes_run(mode):
+    r = run_pingpong(mode, 64, iters=5)
+    assert r["half_rtt_us"] > 0
+    assert r["bandwidth_MBps"] > 0
+
+
+@pytest.mark.parametrize("mode", ("mp", "na", "onesided_pscw", "raw"))
+def test_pingpong_shm_modes(mode):
+    r = run_pingpong(mode, 64, iters=5, same_node=True)
+    inter = run_pingpong(mode, 64, iters=5, same_node=False)
+    assert r["half_rtt_us"] < inter["half_rtt_us"]
+
+
+def test_pingpong_invalid_mode_rejected():
+    with pytest.raises(ReproError):
+        run_pingpong("bogus", 64)
+
+
+def test_pingpong_invalid_size_rejected():
+    with pytest.raises(ReproError):
+        run_pingpong("na", 0)
+    with pytest.raises(ReproError):
+        run_pingpong("na", 12)
+
+
+def test_raw_is_lower_bound():
+    for size in (8, 1024, 65536):
+        raw = run_pingpong("raw", size, iters=5)["half_rtt_us"]
+        for mode in ("mp", "na", "onesided_pscw", "onesided_fence"):
+            assert run_pingpong(mode, size, iters=5)["half_rtt_us"] \
+                >= raw - 1e-9
+
+
+def test_latency_monotone_in_size():
+    for mode in ("na", "mp"):
+        lats = [run_pingpong(mode, s, iters=5)["half_rtt_us"]
+                for s in (8, 512, 8192, 131072)]
+        assert lats == sorted(lats)
+
+
+def test_fence_and_pscw_similar_on_two_procs():
+    """The paper: fence and PSCW performed identical on two processes."""
+    f = run_pingpong("onesided_fence", 64, iters=10)["half_rtt_us"]
+    p = run_pingpong("onesided_pscw", 64, iters=10)["half_rtt_us"]
+    assert f == pytest.approx(p, rel=0.35)
+
+
+# -- overlap ------------------------------------------------------------
+@pytest.mark.parametrize("mode", OVERLAP_MODES)
+def test_overlap_modes_run_and_bounded(mode):
+    r = run_overlap(mode, 4096, iters=5)
+    assert 0.0 <= r["overlap_ratio"] <= 1.0
+    assert r["t_total_us"] >= r["t_comp_us"]
+
+
+def test_overlap_invalid_mode_rejected():
+    with pytest.raises(ReproError):
+        run_overlap("bogus", 64)
+
+
+def test_na_overlap_high_for_all_sizes():
+    """Figure 4a headline: NA overlaps well at every size."""
+    for size in (64, 8192, 262144):
+        assert run_overlap("na", size, iters=5)["overlap_ratio"] > 0.7
+
+
+def test_mp_overlap_poor_for_small_high_for_large():
+    small = run_overlap("mp", 64, iters=5)["overlap_ratio"]
+    large = run_overlap("mp", 262144, iters=5)["overlap_ratio"]
+    assert small < 0.5
+    assert large > 0.9
+
+
+def test_na_beats_fence_overlap_on_small():
+    na = run_overlap("na", 64, iters=5)["overlap_ratio"]
+    fence = run_overlap("onesided_fence", 64, iters=5)["overlap_ratio"]
+    assert na > fence

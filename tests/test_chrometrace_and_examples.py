@@ -1,0 +1,67 @@
+"""Chrome-trace export and example-script smoke tests."""
+
+import json
+import runpy
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.chrometrace import to_chrome_trace, write_chrome_trace
+from tests.conftest import run_cluster
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+def _traced_run():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(128)
+        if ctx.rank == 0:
+            yield from ctx.na.put_notify(win, np.arange(4.0), 1, 0, tag=3)
+        else:
+            req = yield from ctx.na.notify_init(win, source=0, tag=3)
+            yield from ctx.na.start(req)
+            yield from ctx.na.wait(req)
+        return None
+
+    _, cluster = run_cluster(2, prog, trace=True)
+    return cluster
+
+
+def test_chrome_trace_events():
+    cluster = _traced_run()
+    events = to_chrome_trace(cluster.tracer)
+    assert events, "no events exported"
+    names = {e["name"] for e in events}
+    assert "put" in names
+    for e in events:
+        assert e["ph"] == "X" and e["dur"] > 0
+        assert 0 <= e["tid"] < 2
+
+
+def test_chrome_trace_file_roundtrip(tmp_path):
+    cluster = _traced_run()
+    path = tmp_path / "trace.json"
+    n = write_chrome_trace(cluster.tracer, str(path))
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == n
+
+
+def test_chrome_trace_requires_tracing():
+    def prog(ctx):
+        yield ctx.timeout(0.1)
+
+    _, cluster = run_cluster(1, prog)       # trace disabled
+    with pytest.raises(ReproError):
+        to_chrome_trace(cluster.tracer)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script, capsys):
+    """Every example executes end to end and prints something."""
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"

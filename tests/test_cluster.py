@@ -1,0 +1,115 @@
+"""Cluster assembly, configuration, determinism, and stats."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, run_ranks
+from repro.errors import SimulationError
+
+
+def test_config_or_kwargs_not_both():
+    with pytest.raises(SimulationError):
+        Cluster(ClusterConfig(nranks=2), nranks=3)
+
+
+def test_cluster_single_use():
+    def prog(ctx):
+        yield ctx.timeout(1.0)
+
+    c = Cluster(ClusterConfig(nranks=1))
+    c.run(prog)
+    with pytest.raises(SimulationError):
+        c.run(prog)
+
+
+def test_per_rank_programs():
+    def ping(ctx):
+        yield from ctx.comm.send(np.ones(1), 1, tag=0)
+        return "ping"
+
+    def pong(ctx):
+        buf = np.zeros(1)
+        yield from ctx.comm.recv(buf, 0, 0)
+        return "pong"
+
+    c = Cluster(ClusterConfig(nranks=2))
+    assert c.run([ping, pong]) == ["ping", "pong"]
+
+
+def test_program_count_mismatch_rejected():
+    c = Cluster(ClusterConfig(nranks=3))
+    with pytest.raises(SimulationError):
+        c.run([lambda ctx: iter(())] * 2)
+
+
+def test_program_args_forwarded():
+    def prog(ctx, a, b):
+        yield ctx.timeout(0.1)
+        return (ctx.rank, a + b)
+
+    results, _ = run_ranks(2, prog, args=(1, 2))
+    assert results == [(0, 3), (1, 3)]
+
+
+def test_compute_flops_uses_config_rate():
+    def prog(ctx):
+        yield from ctx.compute_flops(16000.0)
+        return ctx.now
+
+    results, _ = run_ranks(1, prog, flops_per_us=8000.0)
+    assert results[0] == pytest.approx(2.0)
+
+
+def test_determinism_identical_runs():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(256)
+        other = (ctx.rank + 1) % ctx.size
+        yield from ctx.na.put_notify(win, np.full(2, float(ctx.rank)),
+                                     other, 0, tag=1)
+        req = yield from ctx.na.notify_init(win, tag=1)
+        yield from ctx.na.start(req)
+        yield from ctx.na.wait(req)
+        return ctx.now
+
+    r1, c1 = run_ranks(4, prog, seed=7)
+    r2, c2 = run_ranks(4, prog, seed=7)
+    assert r1 == r2
+    assert c1.time == c2.time
+
+
+def test_stats_keys():
+    def prog(ctx):
+        yield from ctx.barrier()
+
+    _, c = run_ranks(2, prog)
+    s = c.stats()
+    for key in ("time_us", "wire_transactions", "eager_copies",
+                "notified_ops", "cache_misses"):
+        assert key in s
+
+
+def test_deadlocked_program_raises():
+    def prog(ctx):
+        if ctx.rank == 0:
+            buf = np.zeros(1)
+            yield from ctx.comm.recv(buf, 1, 0)   # never sent
+        else:
+            yield ctx.timeout(1.0)
+
+    from repro.errors import DeadlockError
+    with pytest.raises(DeadlockError):
+        run_ranks(2, prog)
+
+
+def test_rank_context_surface():
+    def prog(ctx):
+        assert ctx.size == 3
+        assert ctx.machine.nranks == 3
+        assert ctx.comm.rank == ctx.rank
+        region = ctx.alloc(128)
+        assert region.nbytes == 128
+        yield ctx.timeout(0.1)
+        assert ctx.now == pytest.approx(0.1)
+        return None
+
+    run_ranks(3, prog)

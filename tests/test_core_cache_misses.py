@@ -1,0 +1,195 @@
+"""The §V claim: at most two compulsory cache misses per matched
+notification when fewer than four notifications are active."""
+
+import numpy as np
+
+from tests.conftest import run_cluster
+
+
+def _producer_consumer(consumer_body):
+    """Rank 0 produces one notified put per barrier round; rank 1 runs
+    ``consumer_body(ctx, win)``."""
+    def prog(ctx):
+        win = yield from ctx.win_allocate(4096)
+        if ctx.rank == 0:
+            yield from ctx.barrier()
+            yield from ctx.na.put_notify(win, np.arange(8.0), 1, 0, tag=5)
+            yield from win.flush(1)
+            yield from ctx.barrier()
+            yield from ctx.barrier()
+        else:
+            result = yield from consumer_body(ctx, win)
+            return result
+        return None
+    return prog
+
+
+def _uq_misses(delta):
+    return (delta.miss_for("na-uq-head") + delta.miss_for("na-uq-scan")
+            + delta.miss_for("na-uq-append"))
+
+
+def test_cold_matched_test_costs_two_misses():
+    def consumer(ctx, win):
+        req = yield from ctx.na.notify_init(win, source=0, tag=5)
+        yield from ctx.na.start(req)
+        yield from ctx.barrier()
+        yield from ctx.barrier()        # notification committed by now
+        ctx.cache.flush_all()
+        before = ctx.cache.stats.snapshot()
+        yield from ctx.na.wait(req)
+        d = ctx.cache.stats.delta(before)
+        yield from ctx.barrier()
+        return (d.miss_for("na-request"), _uq_misses(d), d.misses)
+
+    results, _ = run_cluster(2, _producer_consumer(consumer))
+    req_miss, uq_miss, total = results[1]
+    assert req_miss == 1
+    assert uq_miss == 1
+    assert total <= 2
+
+
+def test_warm_matched_test_costs_zero_misses():
+    def consumer(ctx, win):
+        req = yield from ctx.na.notify_init(win, source=0, tag=5)
+        yield from ctx.na.start(req)
+        # Warm the structures with a failing test.
+        yield from ctx.na.test(req)
+        yield from ctx.barrier()
+        yield from ctx.barrier()
+        before = ctx.cache.stats.snapshot()
+        yield from ctx.na.wait(req)
+        d = ctx.cache.stats.delta(before)
+        yield from ctx.barrier()
+        return d.misses
+
+    results, _ = run_cluster(2, _producer_consumer(consumer))
+    assert results[1] == 0
+
+
+def test_under_four_active_requests_still_two_misses_for_match():
+    """With 3 other active (non-matching) requests the matched test still
+    touches only its own request line plus the UQ head."""
+    def prog(ctx):
+        win = yield from ctx.win_allocate(4096)
+        if ctx.rank == 0:
+            yield from ctx.barrier()
+            yield from ctx.na.put_notify(win, np.arange(8.0), 1, 0, tag=5)
+            yield from win.flush(1)
+            yield from ctx.barrier()
+        else:
+            others = []
+            for t in (1, 2, 3):
+                r = yield from ctx.na.notify_init(win, source=0, tag=t)
+                yield from ctx.na.start(r)
+                others.append(r)
+            req = yield from ctx.na.notify_init(win, source=0, tag=5)
+            yield from ctx.na.start(req)
+            yield from ctx.barrier()
+            yield from ctx.barrier()
+            ctx.cache.flush_all()
+            before = ctx.cache.stats.snapshot()
+            yield from ctx.na.wait(req)
+            d = ctx.cache.stats.delta(before)
+            return d.misses
+        return None
+
+    results, _ = run_cluster(2, prog)
+    assert results[1] <= 2
+
+
+def test_first_parked_notification_shares_head_line():
+    """The first non-matching notification parks in UQ slot 0, which by
+    design shares the head pointer's cache line — no extra miss (§V)."""
+    def prog(ctx):
+        win = yield from ctx.win_allocate(4096)
+        if ctx.rank == 0:
+            yield from ctx.barrier()
+            yield from ctx.na.put_notify(win, np.zeros(1), 1, 64, tag=1)
+            yield from ctx.na.put_notify(win, np.arange(8.0), 1, 0, tag=5)
+            yield from win.flush(1)
+            yield from ctx.barrier()
+        else:
+            req = yield from ctx.na.notify_init(win, source=0, tag=5)
+            yield from ctx.na.start(req)
+            yield from ctx.barrier()
+            yield from ctx.barrier()
+            ctx.cache.flush_all()
+            before = ctx.cache.stats.snapshot()
+            yield from ctx.na.wait(req)
+            d = ctx.cache.stats.delta(before)
+            return (d.miss_for("na-uq-append"), d.misses)
+        return None
+
+    results, _ = run_cluster(2, prog)
+    append_misses, total = results[1]
+    assert append_misses == 0
+    assert total == 2
+
+
+def test_many_parked_notifications_add_uq_traffic():
+    """Beyond the first shared line, each parked notification costs its own
+    UQ line — the regime the paper's two-miss bound excludes."""
+    def prog(ctx):
+        win = yield from ctx.win_allocate(4096)
+        if ctx.rank == 0:
+            yield from ctx.barrier()
+            for t in (1, 2, 3):
+                yield from ctx.na.put_notify(win, np.zeros(1), 1, 64,
+                                             tag=t)
+            yield from ctx.na.put_notify(win, np.arange(8.0), 1, 0, tag=5)
+            yield from win.flush(1)
+            yield from ctx.barrier()
+        else:
+            req = yield from ctx.na.notify_init(win, source=0, tag=5)
+            yield from ctx.na.start(req)
+            yield from ctx.barrier()
+            yield from ctx.barrier()
+            ctx.cache.flush_all()
+            before = ctx.cache.stats.snapshot()
+            yield from ctx.na.wait(req)
+            d = ctx.cache.stats.delta(before)
+            return (d.miss_for("na-uq-append"), d.misses)
+        return None
+
+    results, _ = run_cluster(2, prog)
+    append_misses, total = results[1]
+    assert append_misses == 2       # slots 1 and 2; slot 0 shares the head
+    assert total == 4
+
+
+def test_eager_copy_pollutes_cache_na_does_not():
+    """The paper's §IV argument: the eager path's copies fill the cache,
+    the NA path touches only two lines."""
+    size = 16 * 1024
+
+    def mp_prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(np.zeros(size // 8), 1, tag=1)
+        else:
+            buf = np.zeros(size // 8)
+            before = ctx.cache.stats.snapshot()
+            yield from ctx.comm.recv(buf, 0, 1)
+            return ctx.cache.stats.delta(before).misses
+        return None
+
+    def na_prog(ctx):
+        win = yield from ctx.win_allocate(size)
+        if ctx.rank == 0:
+            yield from ctx.na.put_notify(win, np.zeros(size // 8), 1, 0,
+                                         tag=1)
+        else:
+            req = yield from ctx.na.notify_init(win, source=0, tag=1)
+            yield from ctx.na.start(req)
+            before = ctx.cache.stats.snapshot()
+            yield from ctx.na.wait(req)
+            return ctx.cache.stats.delta(before).misses
+        return None
+
+    # Eager threshold raised so the 16KB message still goes eagerly.
+    mp_res, _ = run_cluster(2, mp_prog, params=__import__(
+        "repro.network.loggp", fromlist=["TransportParams"]
+    ).TransportParams(eager_max=32768))
+    na_res, _ = run_cluster(2, na_prog)
+    assert mp_res[1] >= size // 64          # every copied line missed
+    assert na_res[1] <= 3

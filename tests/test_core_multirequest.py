@@ -1,0 +1,143 @@
+"""NA testany/waitany/waitall and request-based RMA operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatchingError
+from repro.rma.request import rget, rput, rput_notify
+from tests.conftest import run_cluster
+
+
+def test_waitany_returns_first_completed():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(256)
+        if ctx.rank == 0:
+            reqs = []
+            for src in (1, 2, 3):
+                r = yield from ctx.na.notify_init(win, source=src, tag=src)
+                yield from ctx.na.start(r)
+                reqs.append(r)
+            yield from ctx.barrier()
+            idx, st = yield from ctx.na.waitany(reqs)
+            assert (idx, st.source) == (1, 2)     # rank 2 is fastest
+            idx2, st2 = yield from ctx.na.waitany(
+                [reqs[0], reqs[2]])
+            return (st.source, st2.source)
+        yield from ctx.barrier()
+        delay = {1: 5.0, 2: 1.0, 3: 10.0}[ctx.rank]
+        yield from ctx.compute(delay)
+        yield from ctx.na.put_notify(win, np.zeros(1), 0,
+                                     ctx.rank * 8, tag=ctx.rank)
+        return None
+
+    results, _ = run_cluster(4, prog)
+    assert results[0][0] == 2
+    assert results[0][1] in (1, 3)
+
+
+def test_waitall_collects_all_statuses():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(256)
+        if ctx.rank == 0:
+            reqs = []
+            for src in range(1, 4):
+                r = yield from ctx.na.notify_init(win, source=src)
+                yield from ctx.na.start(r)
+                reqs.append(r)
+            yield from ctx.barrier()
+            statuses = yield from ctx.na.waitall(reqs)
+            return [s.source for s in statuses]
+        yield from ctx.barrier()
+        yield from ctx.na.put_notify(win, np.zeros(1), 0, ctx.rank * 8,
+                                     tag=0)
+        return None
+
+    results, _ = run_cluster(4, prog)
+    assert results[0] == [1, 2, 3]
+
+
+def test_testany_none_when_nothing_arrived():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(64)
+        r1 = yield from ctx.na.notify_init(win, source=0, tag=1)
+        r2 = yield from ctx.na.notify_init(win, source=0, tag=2)
+        yield from ctx.na.start(r1)
+        yield from ctx.na.start(r2)
+        idx = yield from ctx.na.testany([r1, r2])
+        assert idx is None
+        # Self-notification completes the second request.
+        yield from ctx.na.put_notify(win, np.zeros(1), 0, 0, tag=2)
+        yield ctx.timeout(5.0)
+        idx = yield from ctx.na.testany([r1, r2])
+        return idx
+
+    results, _ = run_cluster(1, prog)
+    assert results[0] == 1
+
+
+def test_testany_empty_rejected():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(64)
+        yield from ctx.na.testany([])
+
+    with pytest.raises(Exception) as ei:
+        run_cluster(1, prog)
+    assert isinstance(ei.value.__cause__, MatchingError)
+
+
+# -- request-based RMA --------------------------------------------------------
+def test_rput_local_completion_allows_buffer_reuse():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(128)
+        yield from win.lock_all()
+        if ctx.rank == 0:
+            data = np.full(4, 1.0)
+            req = yield from rput(win, data, 1, 0)
+            yield from req.wait()        # local completion
+            data[:] = -1.0               # safe: snapshot taken
+            yield from req.wait_remote()
+        yield from win.unlock_all()
+        yield from ctx.barrier()
+        if ctx.rank == 1:
+            assert np.allclose(win.local(np.float64, count=4), 1.0)
+        return None
+
+    run_cluster(2, prog)
+
+
+def test_rget_wait_returns_with_data():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(128)
+        if ctx.rank == 1:
+            win.local(np.float64)[:4] = 7.5
+        yield from ctx.barrier()
+        yield from win.lock_all()
+        if ctx.rank == 0:
+            buf = ctx.alloc(32)
+            req = yield from rget(win, buf, 1, 0, nbytes=32)
+            assert not req.test()
+            yield from req.wait()
+            assert np.allclose(buf.ndarray(np.float64), 7.5)
+        yield from win.unlock_all()
+        return None
+
+    run_cluster(2, prog)
+
+
+def test_rput_notify_combines_request_and_notification():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(128)
+        if ctx.rank == 0:
+            req = yield from rput_notify(ctx, win, np.arange(4.0), 1, 0,
+                                         tag=9)
+            yield from req.wait()
+            return "origin-complete"
+        nreq = yield from ctx.na.notify_init(win, source=0, tag=9)
+        yield from ctx.na.start(nreq)
+        st = yield from ctx.na.wait(nreq)
+        assert st.tag == 9
+        assert np.allclose(win.local(np.float64, count=4), np.arange(4.0))
+        return "notified"
+
+    results, _ = run_cluster(2, prog)
+    assert results == ["origin-complete", "notified"]

@@ -1,0 +1,82 @@
+"""The foMPI-style API shim (Listing 1 fidelity layer)."""
+
+import numpy as np
+import pytest
+
+from repro import fompi
+from tests.conftest import run_cluster
+
+
+def test_listing1_transcription_runs_and_matches_na_latency():
+    """The shim adds no overhead over the native API."""
+    import runpy
+    from pathlib import Path
+    from repro.apps.pingpong import run_pingpong
+
+    script = (Path(__file__).resolve().parent.parent / "examples"
+              / "listing1_pingpong.py")
+    mod = runpy.run_path(str(script))
+    results, _ = run_cluster(2, mod["program"])
+    shim_lat = dict(results[0])
+    native = run_pingpong("na", 64, iters=20)["half_rtt_us"]
+    assert shim_lat[64] == pytest.approx(native, rel=0.02)
+
+
+def test_put_get_notify_shim_roundtrip():
+    def prog(ctx):
+        win = yield from fompi.Win_allocate(ctx, 1024, disp_unit=8)
+        if ctx.rank == 0:
+            data = np.arange(16.0)
+            yield from fompi.Put_notify(ctx, data, 16, np.float64, 1, 0,
+                                        16, np.float64, win, 5)
+            yield from fompi.Win_flush_local(ctx, 1, win)
+            return "put"
+        req = yield from fompi.Notify_init(ctx, win, 0, 5, 1)
+        yield from fompi.Start(ctx, req)
+        flag, st = yield from fompi.Test(ctx, req)
+        status = yield from fompi.Wait(ctx, req)
+        assert status.source == 0 and status.tag == 5
+        assert np.allclose(win.local(np.float64, count=16), np.arange(16))
+        yield from fompi.Request_free(ctx, req)
+        return "notified"
+
+    results, _ = run_cluster(2, prog)
+    assert results == ["put", "notified"]
+
+
+def test_get_notify_shim():
+    def prog(ctx):
+        win = yield from fompi.Win_allocate(ctx, 256, disp_unit=8)
+        if ctx.rank == 1:
+            win.local(np.float64)[:8] = 4.5
+            yield from ctx.barrier()
+            req = yield from fompi.Notify_init(ctx, win, 0, 2, 1)
+            yield from fompi.Start(ctx, req)
+            yield from fompi.Wait(ctx, req)
+            return "buffer reusable"
+        yield from ctx.barrier()
+        region = ctx.alloc(64)
+        yield from fompi.Get_notify(ctx, region, 8, np.float64, 1, 0, 8,
+                                    np.float64, win, 2)
+        yield from fompi.Win_flush(ctx, 1, win)
+        assert np.allclose(region.ndarray(np.float64), 4.5)
+        return "read"
+
+    results, _ = run_cluster(2, prog)
+    assert results == ["read", "buffer reusable"]
+
+
+def test_size_mismatch_rejected():
+    def prog(ctx):
+        win = yield from fompi.Win_allocate(ctx, 256)
+        yield from fompi.Put_notify(ctx, np.zeros(4), 4, np.float64,
+                                    1 - ctx.rank, 0, 2, np.float64, win, 0)
+
+    with pytest.raises(Exception):
+        run_cluster(2, prog)
+
+
+def test_wildcard_names_reexported():
+    from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+    assert fompi.MPI_ANY_SOURCE == ANY_SOURCE
+    assert fompi.MPI_ANY_TAG == ANY_TAG

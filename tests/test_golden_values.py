@@ -1,0 +1,46 @@
+"""Golden-value regression pins.
+
+The simulator is bit-deterministic, so headline quantities can be pinned
+exactly.  If a timing-path change moves one of these, the change is either
+a bug or a deliberate recalibration — in the latter case update the pin
+AND the EXPERIMENTS.md tables together.
+"""
+
+import pytest
+
+from repro.apps.pingpong import run_pingpong
+from repro.network.loggp import TransportParams
+
+
+def test_na_64b_half_rtt_pinned():
+    r = run_pingpong("na", 64, iters=20)
+    assert r["half_rtt_us"] == pytest.approx(1.42672, abs=1e-5)
+
+
+def test_mp_64b_half_rtt_pinned():
+    r = run_pingpong("mp", 64, iters=20)
+    assert r["half_rtt_us"] == pytest.approx(1.72648, abs=1e-5)
+
+
+def test_raw_64b_half_rtt_pinned():
+    r = run_pingpong("raw", 64, iters=20)
+    assert r["half_rtt_us"] == pytest.approx(1.35672, abs=1e-5)
+
+
+def test_shm_na_64b_half_rtt_pinned():
+    r = run_pingpong("na", 64, iters=20, same_node=True)
+    assert r["half_rtt_us"] == pytest.approx(0.6151, abs=1e-4)
+
+
+def test_headline_ratio_na_vs_onesided():
+    """The paper's <50% claim, pinned as a ratio band."""
+    na = run_pingpong("na", 8, iters=20)["half_rtt_us"]
+    os_ = run_pingpong("onesided_pscw", 8, iters=20)["half_rtt_us"]
+    assert 0.35 < na / os_ < 0.50
+
+
+def test_paper_constants_never_drift():
+    p = TransportParams()
+    assert (p.o_send, p.o_recv) == (0.29, 0.07)
+    assert (p.t_init, p.t_free, p.t_start) == (0.07, 0.04, 0.008)
+    assert (p.fma.L, p.bte.L, p.shm.L) == (1.02, 1.32, 0.25)

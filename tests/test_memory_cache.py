@@ -1,0 +1,117 @@
+"""Cache-line model: LRU behaviour, stats, and a reference-model property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import CACHE_LINE, CacheModel
+
+
+def test_first_touch_misses_then_hits():
+    c = CacheModel()
+    assert c.touch(0, 8) == 1
+    assert c.touch(0, 8) == 0
+    assert c.stats.hits == 1 and c.stats.misses == 1
+
+
+def test_straddling_access_touches_two_lines():
+    c = CacheModel()
+    assert c.touch(CACHE_LINE - 4, 8) == 2
+
+
+def test_same_line_different_offsets_hit():
+    c = CacheModel()
+    c.touch(0, 1)
+    assert c.touch(CACHE_LINE - 1, 1) == 0
+
+
+def test_zero_byte_touch_counts_one_line():
+    c = CacheModel()
+    assert c.touch(128, 0) == 1
+
+
+def test_label_accounting():
+    c = CacheModel()
+    c.touch(0, 8, label="request")
+    c.touch(64, 8, label="uq")
+    c.touch(0, 8, label="request")   # hit: no new miss
+    assert c.stats.miss_for("request") == 1
+    assert c.stats.miss_for("uq") == 1
+
+
+def test_eviction_when_set_full():
+    c = CacheModel(size_bytes=2 * 64, ways=2, line=64)  # 1 set, 2 ways
+    c.touch(0 * 64, 1)
+    c.touch(1 * 64, 1)
+    c.touch(2 * 64, 1)                 # evicts line 0 (LRU)
+    assert c.stats.evictions == 1
+    assert c.touch(0, 1) == 1          # line 0 was evicted
+
+
+def test_lru_order_respects_recency():
+    c = CacheModel(size_bytes=2 * 64, ways=2, line=64)
+    c.touch(0, 1)
+    c.touch(64, 1)
+    c.touch(0, 1)          # refresh line 0
+    c.touch(128, 1)        # should evict line 64, not line 0
+    assert c.touch(0, 1) == 0
+    assert c.touch(64, 1) == 1
+
+
+def test_flush_range_invalidates():
+    c = CacheModel()
+    c.touch(0, 128)
+    c.flush_range(0, 64)
+    assert not c.resident(0)
+    assert c.resident(64)
+
+
+def test_flush_all():
+    c = CacheModel()
+    c.touch(0, 256)
+    c.flush_all()
+    assert c.touch(0, 256) == 4
+
+
+def test_spaces_are_distinct():
+    c = CacheModel()
+    c.touch(0, 8, space=0)
+    assert c.touch(0, 8, space=1) == 1
+
+
+def test_snapshot_delta():
+    c = CacheModel()
+    c.touch(0, 8, label="a")
+    before = c.stats.snapshot()
+    c.touch(64, 8, label="b")
+    d = c.stats.delta(before)
+    assert d.misses == 1
+    assert d.by_label == {"b": 1}
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        CacheModel(size_bytes=100, ways=3, line=64)
+
+
+# -- property: model agrees with a brute-force fully-recent-order reference --
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=4095), min_size=1,
+                max_size=200))
+def test_cache_against_reference_lru(addrs):
+    ways, line = 4, 64
+    nsets = 4
+    c = CacheModel(size_bytes=nsets * ways * line, ways=ways, line=line)
+    # reference: per-set list of lines in LRU order
+    ref = [[] for _ in range(nsets)]
+    for a in addrs:
+        lineno = a // line
+        s = ref[lineno % nsets]
+        expect_hit = lineno in s
+        got_miss = c.touch(a, 1)
+        assert got_miss == (0 if expect_hit else 1)
+        if expect_hit:
+            s.remove(lineno)
+        s.append(lineno)
+        if len(s) > ways:
+            s.pop(0)

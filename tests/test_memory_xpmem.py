@@ -1,0 +1,46 @@
+"""XPMEM-like shared segments."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BufferError_, NetworkError
+from repro.memory.address import AddressSpace
+from repro.memory.xpmem import XpmemRegistry
+
+
+def test_expose_attach_read_write():
+    space = AddressSpace(0, 1024)
+    reg = XpmemRegistry(node_id=0)
+    seg = reg.expose(owner=0, space=space, addr=128, nbytes=256)
+    got = reg.attach(seg.segid)
+    got.write(0, np.arange(8, dtype=np.float64))
+    assert np.allclose(space.copy_out(128, 64).view(np.float64),
+                       np.arange(8))
+    assert np.allclose(got.read(0, 64).view(np.float64), np.arange(8))
+
+
+def test_attach_unknown_segment_rejected():
+    reg = XpmemRegistry(node_id=0)
+    with pytest.raises(NetworkError):
+        reg.attach(99)
+
+
+def test_revoke():
+    space = AddressSpace(0, 1024)
+    reg = XpmemRegistry(node_id=0)
+    seg = reg.expose(0, space, 0, 64)
+    reg.revoke(seg.segid)
+    with pytest.raises(NetworkError):
+        reg.attach(seg.segid)
+
+
+def test_segment_bounds_checked():
+    space = AddressSpace(0, 1024)
+    reg = XpmemRegistry(node_id=0)
+    with pytest.raises(BufferError_):
+        reg.expose(0, space, 900, 256)
+    seg = reg.expose(0, space, 0, 64)
+    with pytest.raises(BufferError_):
+        seg.read(32, 64)
+    with pytest.raises(BufferError_):
+        seg.write(60, np.zeros(2, np.float64))

@@ -1,0 +1,41 @@
+"""The app-level stencil throughput model against simulation."""
+
+import pytest
+
+from repro.apps.stencil import run_stencil
+from repro.models.performance import stencil_gmops, stencil_row_cost
+from repro.network.loggp import TransportParams
+
+FLOPS_RATE = 8000.0
+
+
+@pytest.fixture(scope="module")
+def P():
+    return TransportParams()
+
+
+@pytest.mark.parametrize("mode,tol", [("na", 0.05), ("mp", 0.10)])
+@pytest.mark.parametrize("nranks,rows,cols", [(4, 200, 640),
+                                              (8, 256, 1280),
+                                              (16, 256, 1280)])
+def test_stencil_model_tracks_simulation(P, mode, tol, nranks, rows, cols):
+    sim = run_stencil(mode, nranks, rows=rows, cols=cols)["gmops"]
+    pred = stencil_gmops(P, mode, nranks, rows, cols, FLOPS_RATE)
+    assert sim == pytest.approx(pred, rel=tol)
+
+
+def test_model_predicts_na_advantage(P):
+    """The model explains Figure 1: the NA/MP ratio approaches the
+    per-row software-cost ratio as compute shrinks."""
+    na = stencil_row_cost(P, "na", cols_local=1, flops_per_us=FLOPS_RATE)
+    mp = stencil_row_cost(P, "mp", cols_local=1, flops_per_us=FLOPS_RATE)
+    assert mp / na > 1.5
+    # With huge per-rank compute the modes converge.
+    na_big = stencil_gmops(P, "na", 2, 128, 100000, FLOPS_RATE)
+    mp_big = stencil_gmops(P, "mp", 2, 128, 100000, FLOPS_RATE)
+    assert na_big / mp_big < 1.05
+
+
+def test_model_rejects_unknown_mode(P):
+    with pytest.raises(ValueError):
+        stencil_row_cost(P, "pscw", 10, FLOPS_RATE)

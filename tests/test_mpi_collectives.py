@@ -1,0 +1,141 @@
+"""Collectives: barrier, bcast, reduce, allreduce, vendor_reduce."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.collectives import vendor_reduce
+from tests.conftest import run_cluster
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 5, 8, 16])
+def test_barrier_synchronizes(nranks):
+    def prog(ctx):
+        yield from ctx.compute(float(ctx.rank) * 2.0)
+        yield from ctx.barrier()
+        return ctx.now
+
+    results, _ = run_cluster(nranks, prog)
+    slowest_compute = (nranks - 1) * 2.0
+    assert all(t >= slowest_compute for t in results)
+
+
+@pytest.mark.parametrize("nranks,root", [(2, 0), (4, 0), (7, 3), (8, 7),
+                                         (13, 5)])
+def test_bcast_delivers_from_any_root(nranks, root):
+    def prog(ctx):
+        buf = np.full(8, 42.5) if ctx.rank == root else np.zeros(8)
+        yield from ctx.comm.bcast(buf, root=root)
+        assert np.allclose(buf, 42.5)
+        return None
+
+    run_cluster(nranks, prog)
+
+
+def test_bcast_single_rank_noop():
+    def prog(ctx):
+        buf = np.full(4, 1.0)
+        yield from ctx.comm.bcast(buf, root=0)
+        return ctx.now
+
+    results, _ = run_cluster(1, prog)
+    assert results[0] == 0.0
+
+
+@pytest.mark.parametrize("nranks,root", [(2, 0), (5, 2), (9, 0), (16, 15)])
+def test_reduce_sums_rank_values(nranks, root):
+    def prog(ctx):
+        sendbuf = np.full(4, float(ctx.rank))
+        recvbuf = np.zeros(4) if ctx.rank == root else None
+        yield from ctx.comm.reduce(sendbuf, recvbuf, root)
+        if ctx.rank == root:
+            assert np.allclose(recvbuf, nranks * (nranks - 1) / 2)
+        return None
+
+    run_cluster(nranks, prog)
+
+
+def test_reduce_root_without_recvbuf_rejected():
+    def prog(ctx):
+        yield from ctx.comm.reduce(np.zeros(2), None, 0)
+
+    with pytest.raises(Exception):
+        run_cluster(2, prog)
+
+
+def test_reduce_custom_op():
+    def prog(ctx):
+        sendbuf = np.full(2, float(ctx.rank + 1))
+        recvbuf = np.zeros(2) if ctx.rank == 0 else None
+        yield from ctx.comm.reduce(sendbuf, recvbuf, 0, op=np.maximum)
+        if ctx.rank == 0:
+            assert np.allclose(recvbuf, 4.0)
+        return None
+
+    run_cluster(4, prog)
+
+
+@pytest.mark.parametrize("nranks", [2, 6, 8])
+def test_allreduce(nranks):
+    def prog(ctx):
+        sendbuf = np.full(3, float(ctx.rank))
+        recvbuf = np.zeros(3)
+        yield from ctx.comm.allreduce(sendbuf, recvbuf)
+        assert np.allclose(recvbuf, nranks * (nranks - 1) / 2)
+        return None
+
+    run_cluster(nranks, prog)
+
+
+def test_vendor_reduce_correct_and_restores_params():
+    def prog(ctx):
+        sendbuf = np.full(2, float(ctx.rank))
+        recvbuf = np.zeros(2) if ctx.rank == 0 else None
+        saved = ctx.endpoint.params.mpi_overhead
+        yield from vendor_reduce(ctx.comm, sendbuf, recvbuf, 0)
+        assert ctx.endpoint.params.mpi_overhead == saved
+        if ctx.rank == 0:
+            assert np.allclose(recvbuf, 6.0)
+        return None
+
+    run_cluster(4, prog)
+
+
+def test_vendor_reduce_faster_than_generic():
+    def make(fn):
+        def prog(ctx):
+            sendbuf = np.full(1, float(ctx.rank))
+            recvbuf = np.zeros(1) if ctx.rank == 0 else None
+            yield from ctx.barrier()
+            t0 = ctx.now
+            yield from fn(ctx, sendbuf, recvbuf)
+            return ctx.now - t0
+        return prog
+
+    def generic(ctx, s, r):
+        yield from ctx.comm.reduce(s, r, 0)
+
+    def vendor(ctx, s, r):
+        yield from vendor_reduce(ctx.comm, s, r, 0)
+
+    rg, _ = run_cluster(16, make(generic))
+    rv, _ = run_cluster(16, make(vendor))
+    assert rv[0] < rg[0]
+
+
+@settings(max_examples=15, deadline=None)
+@given(nranks=st.integers(min_value=1, max_value=12),
+       seed=st.integers(min_value=0, max_value=100))
+def test_reduce_matches_numpy_property(nranks, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal((nranks, 4))
+
+    def prog(ctx):
+        recvbuf = np.zeros(4) if ctx.rank == 0 else None
+        yield from ctx.comm.reduce(values[ctx.rank].copy(), recvbuf, 0)
+        if ctx.rank == 0:
+            assert np.allclose(recvbuf, values.sum(axis=0))
+        return None
+
+    run_cluster(nranks, prog)

@@ -1,0 +1,194 @@
+"""Extended collectives: gather, scatter, allgather, alltoall, exscan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.collectives import (allgather, alltoall, exscan, gather,
+                                   scatter)
+from tests.conftest import run_cluster
+
+
+@pytest.mark.parametrize("nranks,root", [(2, 0), (4, 2), (7, 6), (8, 0)])
+def test_gather(nranks, root):
+    def prog(ctx):
+        sendbuf = np.full(3, float(ctx.rank))
+        recvbuf = np.zeros((nranks, 3)) if ctx.rank == root else None
+        yield from gather(ctx.comm, sendbuf, recvbuf, root)
+        if ctx.rank == root:
+            for r in range(nranks):
+                assert np.allclose(recvbuf[r], float(r))
+        return None
+
+    run_cluster(nranks, prog)
+
+
+def test_gather_root_needs_recvbuf():
+    def prog(ctx):
+        yield from gather(ctx.comm, np.zeros(2), None, 0)
+
+    with pytest.raises(Exception):
+        run_cluster(2, prog)
+
+
+def test_gather_size_mismatch_rejected():
+    def prog(ctx):
+        recvbuf = np.zeros((2, 5)) if ctx.rank == 0 else None
+        yield from gather(ctx.comm, np.zeros(3), recvbuf, 0)
+
+    with pytest.raises(Exception):
+        run_cluster(2, prog)
+
+
+@pytest.mark.parametrize("nranks,root", [(2, 1), (5, 0), (8, 3)])
+def test_scatter(nranks, root):
+    def prog(ctx):
+        sendbuf = (np.arange(nranks * 2, dtype=np.float64)
+                   if ctx.rank == root else None)
+        recvbuf = np.zeros(2)
+        yield from scatter(ctx.comm, sendbuf, recvbuf, root)
+        assert np.allclose(recvbuf, [2 * ctx.rank, 2 * ctx.rank + 1])
+        return None
+
+    run_cluster(nranks, prog)
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 6, 8])
+def test_allgather_ring(nranks):
+    def prog(ctx):
+        sendbuf = np.full(2, float(ctx.rank * 10))
+        recvbuf = np.zeros((nranks, 2))
+        yield from allgather(ctx.comm, sendbuf, recvbuf)
+        assert np.allclose(recvbuf[:, 0], np.arange(nranks) * 10)
+        return None
+
+    run_cluster(nranks, prog)
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4, 7, 8])
+def test_alltoall(nranks):
+    def prog(ctx):
+        # block (i) carries value rank*100 + i.
+        sendbuf = np.array([[ctx.rank * 100 + i] for i in range(nranks)],
+                           dtype=np.float64)
+        recvbuf = np.zeros((nranks, 1))
+        yield from alltoall(ctx.comm, sendbuf, recvbuf)
+        # After the exchange, block src holds src*100 + rank.
+        assert np.allclose(recvbuf[:, 0],
+                           np.arange(nranks) * 100 + ctx.rank)
+        return None
+
+    run_cluster(nranks, prog)
+
+
+def test_alltoall_shape_mismatch_rejected():
+    def prog(ctx):
+        yield from alltoall(ctx.comm, np.zeros((2, 2)), np.zeros((2, 3)))
+
+    with pytest.raises(Exception):
+        run_cluster(2, prog)
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 5, 8])
+def test_exscan(nranks):
+    def prog(ctx):
+        sendbuf = np.full(2, float(ctx.rank + 1))
+        recvbuf = np.zeros(2)
+        yield from exscan(ctx.comm, sendbuf, recvbuf)
+        expected = sum(range(1, ctx.rank + 1))
+        assert np.allclose(recvbuf, expected)
+        return None
+
+    run_cluster(nranks, prog)
+
+
+@settings(max_examples=10, deadline=None)
+@given(nranks=st.integers(min_value=2, max_value=9),
+       seed=st.integers(min_value=0, max_value=50))
+def test_alltoall_matches_transpose_property(nranks, seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.standard_normal((nranks, nranks, 2))
+
+    def prog(ctx):
+        recvbuf = np.zeros((nranks, 2))
+        yield from alltoall(ctx.comm, matrix[ctx.rank].copy(), recvbuf)
+        assert np.allclose(recvbuf, matrix[:, ctx.rank, :])
+        return None
+
+    run_cluster(nranks, prog)
+
+
+@settings(max_examples=10, deadline=None)
+@given(nranks=st.integers(min_value=1, max_value=9),
+       seed=st.integers(min_value=0, max_value=50))
+def test_allgather_matches_stack_property(nranks, seed):
+    rng = np.random.default_rng(seed)
+    rows = rng.standard_normal((nranks, 3))
+
+    def prog(ctx):
+        recvbuf = np.zeros((nranks, 3))
+        yield from allgather(ctx.comm, rows[ctx.rank].copy(), recvbuf)
+        assert np.allclose(recvbuf, rows)
+        return None
+
+    run_cluster(nranks, prog)
+
+
+@pytest.mark.parametrize("nranks", [1, 3, 7])
+def test_inclusive_scan(nranks):
+    from repro.mpi.collectives import scan
+
+    def prog(ctx):
+        sendbuf = np.full(2, float(ctx.rank + 1))
+        recvbuf = np.zeros(2)
+        yield from scan(ctx.comm, sendbuf, recvbuf)
+        assert np.allclose(recvbuf, sum(range(1, ctx.rank + 2)))
+        return None
+
+    run_cluster(nranks, prog)
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 5])
+def test_reduce_scatter_block(nranks):
+    from repro.mpi.collectives import reduce_scatter_block
+
+    def prog(ctx):
+        # Block i of each rank holds rank*10 + i.
+        sendbuf = np.array([[float(ctx.rank * 10 + i)]
+                            for i in range(nranks)])
+        recvbuf = np.zeros(1)
+        yield from reduce_scatter_block(ctx.comm, sendbuf, recvbuf)
+        expected = sum(r * 10 + ctx.rank for r in range(nranks))
+        assert np.allclose(recvbuf, expected)
+        return None
+
+    run_cluster(nranks, prog)
+
+
+def test_reduce_scatter_shape_checked():
+    from repro.mpi.collectives import reduce_scatter_block
+
+    def prog(ctx):
+        yield from reduce_scatter_block(ctx.comm, np.zeros((2, 3)),
+                                        np.zeros(5))
+
+    with pytest.raises(Exception):
+        run_cluster(2, prog)
+
+
+def test_cluster_stats_extended_fields():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(256)
+        if ctx.rank == 0:
+            yield from ctx.na.put_notify(win, np.zeros(4), 1, 0, tag=1)
+        else:
+            req = yield from ctx.na.notify_init(win, source=0, tag=1)
+            yield from ctx.na.start(req)
+            yield from ctx.na.wait(req)
+        return None
+
+    _, cluster = run_cluster(2, prog)
+    s = cluster.stats()
+    assert s["rx_bytes"][1] >= 32
+    assert s["live_na_requests"] == 1      # never freed in the program

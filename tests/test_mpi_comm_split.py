@@ -1,0 +1,168 @@
+"""Sub-communicators: split, dup, context isolation, rank translation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatchingError
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from tests.conftest import run_cluster
+
+
+def test_split_even_odd_groups():
+    def prog(ctx):
+        sub = yield from ctx.comm.split(color=ctx.rank % 2)
+        return (sub.rank, sub.size, sub.group)
+
+    results, _ = run_cluster(6, prog)
+    evens = [r for r in results if r[2] == [0, 2, 4]]
+    odds = [r for r in results if r[2] == [1, 3, 5]]
+    assert len(evens) == 3 and len(odds) == 3
+    assert sorted(r[0] for r in evens) == [0, 1, 2]
+
+
+def test_split_key_reorders_ranks():
+    def prog(ctx):
+        # Reverse ordering within one group.
+        sub = yield from ctx.comm.split(color=0, key=-ctx.rank)
+        return sub.rank
+
+    results, _ = run_cluster(4, prog)
+    assert results == [3, 2, 1, 0]
+
+
+def test_split_undefined_color_returns_none():
+    def prog(ctx):
+        sub = yield from ctx.comm.split(
+            color=0 if ctx.rank < 2 else -1)
+        if sub is None:
+            return "out"
+        return ("in", sub.size)
+
+    results, _ = run_cluster(4, prog)
+    assert results[:2] == [("in", 2), ("in", 2)]
+    assert results[2:] == ["out", "out"]
+
+
+def test_subcomm_p2p_uses_group_ranks():
+    def prog(ctx):
+        sub = yield from ctx.comm.split(color=ctx.rank % 2)
+        # Within each group, sub-rank 0 sends to sub-rank 1.
+        if sub.size >= 2:
+            if sub.rank == 0:
+                yield from sub.send(np.full(2, float(ctx.rank)), 1, tag=1)
+            elif sub.rank == 1:
+                buf = np.zeros(2)
+                st = yield from sub.recv(buf, 0, 1)
+                assert st.source == 0          # sub-communicator rank
+                return float(buf[0])
+        return None
+
+    results, _ = run_cluster(4, prog)
+    assert results[2] == 0.0       # world rank 2 got from world rank 0
+    assert results[3] == 1.0
+
+
+def test_context_isolation_same_tag():
+    """Same (source, tag) in two communicators never cross-matches."""
+    def prog(ctx):
+        world = ctx.comm
+        dup = yield from world.dup()
+        if ctx.rank == 0:
+            yield from world.send(np.full(1, 1.0), 1, tag=5)
+            yield from dup.send(np.full(1, 2.0), 1, tag=5)
+        else:
+            # Receive in the opposite order: dup first.
+            buf = np.zeros(1)
+            yield from dup.recv(buf, 0, 5)
+            assert buf[0] == 2.0
+            yield from world.recv(buf, 0, 5)
+            assert buf[0] == 1.0
+        return None
+
+    run_cluster(2, prog)
+
+
+def test_wildcards_stay_within_context():
+    def prog(ctx):
+        dup = yield from ctx.comm.dup()
+        if ctx.rank == 0:
+            yield from ctx.comm.send(np.full(1, 7.0), 1, tag=3)
+        else:
+            st = yield from dup.iprobe(ANY_SOURCE, ANY_TAG)
+            assert st is None                  # world message invisible
+            buf = np.zeros(1)
+            yield from ctx.comm.recv(buf, ANY_SOURCE, ANY_TAG)
+            assert buf[0] == 7.0
+        return None
+
+    run_cluster(2, prog)
+
+
+def test_collectives_on_subcomm():
+    def prog(ctx):
+        sub = yield from ctx.comm.split(color=ctx.rank % 2)
+        sendbuf = np.full(2, float(ctx.rank))
+        recvbuf = np.zeros(2)
+        yield from sub.allreduce(sendbuf, recvbuf)
+        return float(recvbuf[0])
+
+    results, _ = run_cluster(6, prog)
+    assert results[0] == results[2] == results[4] == 0 + 2 + 4
+    assert results[1] == results[3] == results[5] == 1 + 3 + 5
+
+
+def test_concurrent_subcomm_traffic_does_not_interfere():
+    """Both groups run a reduction concurrently with identical tags."""
+    def prog(ctx):
+        sub = yield from ctx.comm.split(color=ctx.rank // 2)
+        out = np.zeros(1)
+        yield from sub.allreduce(np.full(1, float(ctx.rank)), out)
+        yield from ctx.barrier()
+        return float(out[0])
+
+    results, _ = run_cluster(4, prog)
+    assert results == [1.0, 1.0, 5.0, 5.0]
+
+
+def test_split_is_collective_and_repeatable():
+    def prog(ctx):
+        a = yield from ctx.comm.split(0)
+        b = yield from ctx.comm.split(0)
+        assert a.context != b.context          # distinct contexts
+        sc = yield from a.split(a.rank % 2)    # split of a split
+        return (a.context, b.context, sc.size)
+
+    results, _ = run_cluster(4, prog)
+    assert len({r[0] for r in results}) == 1   # same context everywhere
+    assert results[0][2] == 2
+
+
+def test_waitany_for_mp_requests():
+    def prog(ctx):
+        if ctx.rank == 0:
+            bufs = [np.zeros(1) for _ in range(3)]
+            reqs = []
+            for src in (1, 2, 3):
+                r = yield from ctx.comm.irecv(bufs[src - 1], src, tag=src)
+                reqs.append(r)
+            idx, st = yield from ctx.comm.waitany(reqs)
+            assert st.source == 2              # fastest sender
+            yield from ctx.comm.waitall([r for i, r in enumerate(reqs)
+                                         if i != idx])
+            return st.source
+        yield from ctx.compute({1: 5.0, 2: 1.0, 3: 9.0}[ctx.rank])
+        yield from ctx.comm.send(np.full(1, 1.0), 0, tag=ctx.rank)
+        return None
+
+    results, _ = run_cluster(4, prog)
+    assert results[0] == 2
+
+
+def test_rank_outside_group_rejected():
+    def prog(ctx):
+        sub = yield from ctx.comm.split(color=0)
+        yield from sub.send(np.zeros(1), sub.size, tag=0)
+
+    with pytest.raises(Exception) as ei:
+        run_cluster(2, prog)
+    assert isinstance(ei.value.__cause__, MatchingError)

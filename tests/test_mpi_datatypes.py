@@ -1,0 +1,210 @@
+"""Derived datatypes: layouts, pack/unpack, and typed RMA/NA transfers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BufferError_
+from repro.mpi.datatypes import contiguous, indexed, vector
+from repro.rma.typed import get_typed, put_notify_typed, put_typed
+from tests.conftest import run_cluster
+
+
+# -- layout construction ----------------------------------------------------
+def test_contiguous_layout():
+    t = contiguous(4)
+    assert t.size == 32 and t.extent == 32 and t.is_contiguous
+
+
+def test_vector_layout_is_column_type():
+    # A column of a 3x4 row-major double matrix.
+    t = vector(count=3, blocklength=1, stride=4)
+    assert t.size == 24
+    assert t.extent == (2 * 4 + 1) * 8
+    assert not t.is_contiguous
+
+
+def test_indexed_layout_sorted_and_checked():
+    t = indexed([2, 1], [4, 0])
+    assert t.blocks == ((0, 8), (32, 16))
+    with pytest.raises(BufferError_):
+        indexed([2, 2], [0, 1])          # overlap
+    with pytest.raises(BufferError_):
+        indexed([1], [0, 1])             # length mismatch
+    with pytest.raises(BufferError_):
+        indexed([], [])
+
+
+def test_invalid_constructors():
+    with pytest.raises(BufferError_):
+        contiguous(0)
+    with pytest.raises(BufferError_):
+        vector(2, 3, 2)                  # stride < blocklength
+
+
+# -- pack / unpack --------------------------------------------------------
+def test_pack_unpack_vector_roundtrip():
+    a = np.arange(12.0).reshape(3, 4)
+    col = vector(3, 1, 4)
+    packed = col.pack(a)
+    assert np.allclose(packed.view(np.float64), [0.0, 4.0, 8.0])
+    b = np.zeros((3, 4))
+    col.unpack(packed, b)
+    assert np.allclose(b[:, 0], [0.0, 4.0, 8.0])
+    assert np.allclose(b[:, 1:], 0.0)
+
+
+def test_pack_count_advances_by_extent():
+    a = np.arange(8.0)
+    t = contiguous(2)
+    packed = t.pack(a, count=4)
+    assert np.allclose(packed.view(np.float64), a)
+
+
+def test_pack_bounds_checked():
+    t = vector(4, 1, 4)
+    with pytest.raises(BufferError_):
+        t.pack(np.zeros(8), count=1)     # needs 13 elements
+
+
+def test_unpack_size_checked():
+    t = contiguous(4)
+    with pytest.raises(BufferError_):
+        t.unpack(np.zeros(3, np.uint8), np.zeros(4))
+
+
+def test_pack_cost_free_for_contiguous():
+    from repro.network.loggp import TransportParams
+    p = TransportParams()
+    assert contiguous(100).pack_cost(p) == 0.0
+    assert vector(10, 1, 4).pack_cost(p) > 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(count=st.integers(1, 4), blocklength=st.integers(1, 3),
+       pad=st.integers(0, 3), reps=st.integers(1, 3))
+def test_pack_unpack_roundtrip_property(count, blocklength, pad, reps):
+    t = vector(count, blocklength, blocklength + pad)
+    n = reps * t.extent // 8 + 8
+    rng = np.random.default_rng(count * 100 + blocklength)
+    a = rng.standard_normal(n)
+    packed = t.pack(a, count=reps)
+    b = np.zeros(n)
+    t.unpack(packed, b, count=reps)
+    packed2 = t.pack(b, count=reps)
+    assert np.array_equal(packed, packed2)
+
+
+# -- typed transfers over the fabric -----------------------------------------
+def test_put_typed_matrix_column():
+    """Send column 0 of a matrix into column 2 of the remote matrix."""
+    rows, cols = 6, 5
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(rows * cols * 8)
+        yield from win.lock_all()
+        col = vector(rows, 1, cols)
+        if ctx.rank == 0:
+            a = np.arange(rows * cols, dtype=np.float64).reshape(rows,
+                                                                 cols)
+            yield from put_typed(win, a, col, target=1,
+                                 target_disp=2 * 8, target_type=col)
+            yield from win.flush(1)
+        yield from win.unlock_all()
+        yield from ctx.barrier()
+        if ctx.rank == 1:
+            b = win.local(np.float64, count=rows * cols).reshape(rows,
+                                                                 cols)
+            assert np.allclose(b[:, 2], np.arange(rows) * cols)
+            # Neighbouring columns untouched.
+            assert np.allclose(b[:, 1], 0.0)
+            assert np.allclose(b[:, 3], 0.0)
+        return None
+
+    run_cluster(2, prog)
+
+
+def test_get_typed_column():
+    rows, cols = 4, 3
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(rows * cols * 8)
+        if ctx.rank == 1:
+            m = win.local(np.float64, count=rows * cols).reshape(rows,
+                                                                 cols)
+            m[:] = np.arange(rows * cols).reshape(rows, cols)
+        yield from ctx.barrier()
+        yield from win.lock_all()
+        if ctx.rank == 0:
+            region = ctx.alloc(rows * cols * 8)
+            buf = region.ndarray(np.float64).reshape(rows, cols)
+            col = vector(rows, 1, cols)
+            yield from get_typed(win, buf, col, region, target=1,
+                                 target_disp=1 * 8, target_type=col)
+            yield from win.flush(1)
+            assert np.allclose(buf[:, 0], np.arange(rows) * cols + 1)
+        yield from win.unlock_all()
+        return None
+
+    run_cluster(2, prog)
+
+
+def test_put_notify_typed_full_signature():
+    """The paper's MPI_Put_notify with a non-contiguous origin type."""
+    rows, cols = 5, 4
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(rows * 8)
+        col = vector(rows, 1, cols)
+        dense = contiguous(rows)
+        if ctx.rank == 0:
+            a = np.arange(rows * cols, dtype=np.float64).reshape(rows,
+                                                                 cols)
+            yield from put_notify_typed(ctx, win, a, col, target=1,
+                                        target_type=dense, tag=6)
+            yield from win.flush_local(1)
+        else:
+            req = yield from ctx.na.notify_init(win, source=0, tag=6)
+            yield from ctx.na.start(req)
+            st_ = yield from ctx.na.wait(req)
+            assert st_.count == rows * 8
+            assert np.allclose(win.local(np.float64, count=rows),
+                               np.arange(rows) * cols)
+        return None
+
+    run_cluster(2, prog)
+
+
+def test_typed_size_mismatch_rejected():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(256)
+        yield from win.lock_all()
+        yield from put_typed(win, np.zeros(32), contiguous(4),
+                             target=1 - ctx.rank,
+                             target_type=contiguous(8))
+
+    with pytest.raises(Exception):
+        run_cluster(2, prog)
+
+
+def test_typed_put_single_wire_transaction():
+    """Scatter-gather keeps the notified typed put at one transaction."""
+    def prog(ctx):
+        win = yield from ctx.win_allocate(1024)
+        col = vector(4, 1, 4)
+        if ctx.rank == 0:
+            yield from ctx.barrier()
+            mark = ctx.cluster.tracer.wire_transactions()
+            a = np.arange(16.0)
+            yield from put_notify_typed(ctx, win, a, col, target=1, tag=1)
+            yield from win.flush_local(1)
+            return ctx.cluster.tracer.wire_transactions() - mark
+        req = yield from ctx.na.notify_init(win, source=0, tag=1)
+        yield from ctx.na.start(req)
+        yield from ctx.barrier()
+        yield from ctx.na.wait(req)
+        return None
+
+    results, _ = run_cluster(2, prog, trace=True)
+    assert results[0] == 1

@@ -1,0 +1,78 @@
+"""Dragonfly grouping: placement and inter-group latency pricing."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pingpong import run_pingpong
+from repro.cluster import ClusterConfig
+from repro.errors import NetworkError
+from repro.network.loggp import TransportParams
+from repro.network.topology import Machine
+from tests.conftest import run_cluster
+
+
+def test_group_assignment():
+    m = Machine(8, ranks_per_node=2, nodes_per_group=2)
+    assert m.group_of(0) == 0 and m.group_of(3) == 0
+    assert m.group_of(4) == 1 and m.group_of(7) == 1
+    assert m.same_group(0, 3)
+    assert not m.same_group(3, 4)
+
+
+def test_flat_network_single_group():
+    m = Machine(8, ranks_per_node=2)
+    assert all(m.group_of(r) == 0 for r in range(8))
+
+
+def test_invalid_group_size_rejected():
+    with pytest.raises(NetworkError):
+        Machine(4, nodes_per_group=0)
+
+
+def test_inter_group_latency_added():
+    p = TransportParams(inter_group_L_extra=0.5)
+    intra = ClusterConfig(nranks=2, nodes_per_group=2, params=p)
+    inter = ClusterConfig(nranks=2, nodes_per_group=1, params=p)
+    a = run_pingpong("na", 64, iters=5, config=intra)["half_rtt_us"]
+    b = run_pingpong("na", 64, iters=5, config=inter)["half_rtt_us"]
+    assert b == pytest.approx(a + 0.5)
+
+
+def test_inter_group_applies_to_gets_and_amos():
+    p = TransportParams(inter_group_L_extra=0.5)
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(128)
+        yield from win.lock_all()
+        times = {}
+        if ctx.rank == 0:
+            buf = ctx.alloc(64)
+            t0 = ctx.now
+            yield from win.get(buf, 1, 0, nbytes=64)
+            yield from win.flush(1)
+            times["get"] = ctx.now - t0
+            t0 = ctx.now
+            yield from win.fetch_and_op(1, 1, 0, "sum")
+            times["amo"] = ctx.now - t0
+        yield from win.unlock_all()
+        return times
+
+    res_intra, _ = run_cluster(2, prog, nodes_per_group=2, params=p)
+    res_inter, _ = run_cluster(2, prog, nodes_per_group=1, params=p)
+    # Both request and response legs pay the group hop.
+    assert res_inter[0]["get"] == pytest.approx(
+        res_intra[0]["get"] + 1.0)
+    assert res_inter[0]["amo"] == pytest.approx(
+        res_intra[0]["amo"] + 1.0)
+
+
+def test_intra_node_unaffected_by_groups():
+    p = TransportParams(inter_group_L_extra=0.5)
+    cfg = ClusterConfig(nranks=2, ranks_per_node=2, nodes_per_group=1,
+                        params=p)
+    plain = ClusterConfig(nranks=2, ranks_per_node=2)
+    a = run_pingpong("na", 64, iters=5, same_node=True,
+                     config=cfg)["half_rtt_us"]
+    b = run_pingpong("na", 64, iters=5, same_node=True,
+                     config=plain)["half_rtt_us"]
+    assert a == pytest.approx(b)

@@ -1,0 +1,110 @@
+"""Property tests: fabric memory consistency and timing monotonicity."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.address import AddressSpace
+from repro.network.fabric import Fabric
+from repro.network.loggp import TransportParams
+from repro.network.topology import Machine
+from repro.sim.engine import Engine
+
+
+def make_fabric(nranks=3):
+    eng = Engine()
+    machine = Machine(nranks)
+    spaces = [AddressSpace(r, 1 << 18) for r in range(nranks)]
+    return eng, Fabric(eng, machine, spaces), spaces
+
+
+@st.composite
+def put_schedules(draw):
+    """Random puts from ranks 1, 2 into overlapping slots of rank 0."""
+    nputs = draw(st.integers(min_value=1, max_value=12))
+    puts = []
+    for i in range(nputs):
+        origin = draw(st.integers(min_value=1, max_value=2))
+        slot = draw(st.integers(min_value=0, max_value=3))
+        delay = draw(st.floats(min_value=0.0, max_value=20.0,
+                               allow_nan=False))
+        value = float(i + 1)
+        puts.append((origin, slot, delay, value))
+    return puts
+
+
+@settings(max_examples=30, deadline=None)
+@given(puts=put_schedules())
+def test_memory_equals_commit_order_replay(puts):
+    """Final target memory equals a sequential replay ordered by commit
+    time (ties broken by issue order, which the engine preserves)."""
+    eng, fabric, spaces = make_fabric()
+    commits = []   # (commit_at, issue_idx, slot, value)
+
+    def issue(origin, slot, value):
+        data = np.full(8, value)
+        h = fabric.put(origin, 0, slot * 64, data)
+        commits.append((h.commit_at, len(commits), slot, value))
+
+    def driver(e, origin, slot, delay, value):
+        yield e.timeout(delay)
+        issue(origin, slot, value)
+
+    for origin, slot, delay, value in puts:
+        eng.process(driver(eng, origin, slot, delay, value))
+    eng.run(detect_deadlock=False)
+
+    expected = {}
+    for _, _, slot, value in sorted(commits,
+                                    key=lambda c: (c[0], c[1])):
+        expected[slot] = value
+    for slot, value in expected.items():
+        got = spaces[0].copy_out(slot * 64, 64).view(np.float64)
+        assert np.allclose(got, value), (slot, value, got)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=1 << 18),
+                      min_size=2, max_size=10))
+def test_put_latency_monotone_in_size_property(sizes):
+    """For a fresh fabric, one-way put latency is non-decreasing in size
+    within each engine class (FMA / BTE)."""
+    p = TransportParams()
+    lat = {}
+    for s in set(sizes):
+        eng, fabric, _ = make_fabric(2)
+        h = fabric.put(0, 1, 0, np.zeros(s, np.uint8))
+        lat[s] = h.commit_at
+    fma = sorted(s for s in lat if s <= p.fma_max)
+    bte = sorted(s for s in lat if s > p.fma_max)
+    for group in (fma, bte):
+        for a, b in zip(group, group[1:]):
+            assert lat[a] <= lat[b]
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=1, max_value=30))
+def test_fifo_per_engine_property(n):
+    """N same-size puts through one engine commit in issue order with the
+    LogGP serialization gap between consecutive commits."""
+    p = TransportParams()
+    eng, fabric, _ = make_fabric(2)
+    commits = [fabric.put(0, 1, i * 8, np.zeros(8, np.uint8)).commit_at
+               for i in range(n)]
+    gap = p.fma.g + 8 * p.fma.G
+    for a, b in zip(commits, commits[1:]):
+        assert abs((b - a) - gap) < 1e-12
+    eng.run(detect_deadlock=False)
+
+
+@settings(max_examples=20, deadline=None)
+@given(values=st.lists(st.integers(min_value=-1000, max_value=1000),
+                       min_size=1, max_size=20))
+def test_amo_sum_accumulates_property(values):
+    eng, fabric, spaces = make_fabric(2)
+    for v in values:
+        fabric.amo(0, 1, 0, "sum", v)
+    eng.run(detect_deadlock=False)
+    assert spaces[1].copy_out(0, 8).view(np.int64)[0] == sum(values)

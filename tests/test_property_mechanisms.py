@@ -1,0 +1,104 @@
+"""Property: the three notification mechanisms agree on *what happened*.
+
+For any producer schedule, the queueing path must observe exactly the
+multiset of (source, tag) pairs sent; the counter path must count exactly
+the per-source totals; the overwriting path must deliver every value when
+registers are private.  Semantics differ; the ground truth must not.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import run_cluster
+
+
+@st.composite
+def schedules(draw):
+    nproducers = draw(st.integers(min_value=1, max_value=3))
+    sends = {p: draw(st.lists(st.integers(min_value=0, max_value=5),
+                              min_size=1, max_size=5))
+             for p in range(1, nproducers + 1)}
+    return sends
+
+
+@settings(max_examples=15, deadline=None)
+@given(sends=schedules())
+def test_queue_observes_exact_multiset(sends):
+    total = sum(len(v) for v in sends.values())
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(128)
+        if ctx.rank == 0:
+            req = yield from ctx.na.notify_init(win)
+            yield from ctx.barrier()
+            seen = []
+            for _ in range(total):
+                yield from ctx.na.start(req)
+                st_ = yield from ctx.na.wait(req)
+                seen.append((st_.source, st_.tag))
+            return sorted(seen)
+        yield from ctx.barrier()
+        for tag in sends[ctx.rank]:
+            yield from ctx.na.put_notify(win, np.zeros(1), 0, 0, tag=tag)
+        return None
+
+    results, _ = run_cluster(len(sends) + 1, prog)
+    expected = sorted((p, t) for p, tags in sends.items() for t in tags)
+    assert results[0] == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(sends=schedules())
+def test_counters_count_exact_totals(sends):
+    def prog(ctx):
+        win = yield from ctx.win_allocate(128)
+        if ctx.rank == 0:
+            reqs = {}
+            for p, tags in sends.items():
+                reqs[p] = yield from ctx.counters.counter_init(
+                    win, source=p, tag=p, expected_count=len(tags))
+            yield from ctx.barrier()
+            for p, req in reqs.items():
+                yield from ctx.counters.start(req)
+                yield from ctx.counters.wait(req)
+            return {p: r.cell.increments for p, r in reqs.items()}
+        yield from ctx.barrier()
+        for _ in sends[ctx.rank]:
+            yield from ctx.counters.put_counted(win, np.zeros(1), 0, 0,
+                                                tag=ctx.rank)
+        return None
+
+    results, _ = run_cluster(len(sends) + 1, prog)
+    assert results[0] == {p: len(tags) for p, tags in sends.items()}
+
+
+@settings(max_examples=15, deadline=None)
+@given(sends=schedules())
+def test_overwriting_delivers_all_values_with_private_registers(sends):
+    total = sum(len(v) for v in sends.values())
+    width = max(len(v) for v in sends.values())
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(128)
+        if ctx.rank == 0:
+            space = yield from ctx.gaspi.notification_init(
+                win, num=len(sends) * width)
+            yield from ctx.barrier()
+            got = {}
+            for _ in range(total):
+                slot, value = yield from ctx.gaspi.waitsome(space)
+                got[slot] = value
+            assert space.overwrites == 0
+            return got
+        yield from ctx.barrier()
+        for i, tag in enumerate(sends[ctx.rank]):
+            slot = (ctx.rank - 1) * width + i
+            yield from ctx.gaspi.write_notify(win, np.zeros(1), 0, 0,
+                                              slot=slot, value=tag + 1)
+        return None
+
+    results, _ = run_cluster(len(sends) + 1, prog)
+    expected = {(p - 1) * width + i: tag + 1
+                for p, tags in sends.items() for i, tag in enumerate(tags)}
+    assert results[0] == expected

@@ -1,0 +1,77 @@
+"""Property tests: RMA accumulate/fetch&op against sequential references."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import run_cluster
+
+
+@settings(max_examples=15, deadline=None)
+@given(contribs=st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=6))
+def test_concurrent_accumulates_sum_exactly(contribs):
+    """Any interleaving of atomic accumulates sums to the same total."""
+    nranks = len(contribs) + 1
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(64)
+        yield from win.lock_all()
+        if ctx.rank > 0:
+            yield from ctx.compute(float((ctx.rank * 7) % 5))
+            yield from win.accumulate(
+                np.full(4, contribs[ctx.rank - 1]), 0, 0, op="sum")
+            yield from win.flush(0)
+        yield from win.unlock_all()
+        yield from ctx.barrier()
+        if ctx.rank == 0:
+            return win.local(np.float64, count=4).copy()
+        return None
+
+    results, _ = run_cluster(nranks, prog)
+    assert np.allclose(results[0], sum(contribs))
+
+
+@settings(max_examples=15, deadline=None)
+@given(nranks=st.integers(min_value=2, max_value=8),
+       seed=st.integers(min_value=0, max_value=30))
+def test_fetch_and_op_tickets_are_a_permutation(nranks, seed):
+    """fetch&op on a shared counter hands out each ticket exactly once,
+    under randomized arrival times."""
+    rng = np.random.default_rng(seed)
+    delays = rng.uniform(0, 5, nranks)
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(64)
+        yield from win.lock_all()
+        yield from ctx.compute(float(delays[ctx.rank]))
+        ticket = yield from win.fetch_and_op(1, 0, 0, "sum")
+        yield from win.unlock_all()
+        return ticket
+
+    results, _ = run_cluster(nranks, prog)
+    assert sorted(results) == list(range(nranks))
+
+
+@settings(max_examples=10, deadline=None)
+@given(values=st.lists(st.integers(min_value=1, max_value=1000),
+                       min_size=2, max_size=6, unique=True))
+def test_cas_elects_exactly_one_winner(values):
+    nranks = len(values)
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(64)
+        yield from win.lock_all()
+        yield from ctx.compute(float((ctx.rank * 3) % 4))
+        old = yield from win.compare_and_swap(values[ctx.rank], 0, 0, 0)
+        yield from win.unlock_all()
+        yield from ctx.barrier()
+        final = win.local(np.int64)[0] if ctx.rank == 0 else None
+        return (old, final)
+
+    results, _ = run_cluster(nranks, prog)
+    winners = [i for i, (old, _) in enumerate(results) if old == 0]
+    assert len(winners) == 1
+    assert results[0][1] == values[winners[0]]

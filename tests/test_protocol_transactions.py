@@ -1,0 +1,26 @@
+"""Figure 2 protocol audit: transactions on the critical path."""
+
+from repro.bench.figures import fig2_transactions
+from repro.models.performance import PROTOCOL_TRANSACTIONS
+
+
+def test_transaction_counts_match_figure2():
+    t = fig2_transactions()
+    counts = {row[0]: row[1] for row in t.rows}
+    assert counts["mp_eager"] == 1
+    assert counts["na_put"] == 1
+    assert counts["mp_rndv"] == 3
+    assert counts["na_get"] == 2
+    assert counts["onesided_put_flag"] >= 3   # the paper's "at least three"
+
+
+def test_na_needs_fewest_transactions():
+    t = fig2_transactions()
+    counts = {row[0]: row[1] for row in t.rows}
+    assert counts["na_put"] <= min(counts.values())
+
+
+def test_model_table_consistent():
+    assert PROTOCOL_TRANSACTIONS["na_put"] == 1
+    assert PROTOCOL_TRANSACTIONS["mp_rndv"] == 3
+    assert PROTOCOL_TRANSACTIONS["onesided_put_flag"] >= 3

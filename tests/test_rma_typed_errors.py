@@ -1,0 +1,146 @@
+"""Typed RMA and fabric scatter/gather: validation and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError, RmaEpochError
+from repro.memory.address import AddressSpace
+from repro.mpi.datatypes import contiguous, vector
+from repro.network.fabric import Fabric
+from repro.network.topology import Machine
+from repro.rma.typed import get_typed, put_typed
+from repro.sim.engine import Engine
+from tests.conftest import run_cluster
+
+
+def make_fabric(nranks=2):
+    eng = Engine()
+    spaces = [AddressSpace(r, 1 << 18) for r in range(nranks)]
+    return eng, Fabric(eng, Machine(nranks), spaces), spaces
+
+
+def test_scatter_list_size_validated():
+    eng, fabric, _ = make_fabric()
+    with pytest.raises(NetworkError):
+        fabric.put(0, 1, 0, np.zeros(16, np.uint8),
+                   scatter=[(0, 8)])           # covers 8 of 16 bytes
+
+
+def test_gather_list_size_validated():
+    eng, fabric, _ = make_fabric()
+    with pytest.raises(NetworkError):
+        fabric.get(0, 1, 0, 16, local_addr=0, gather=[(0, 8)])
+
+
+def test_scatter_blocks_land_in_order():
+    eng, fabric, spaces = make_fabric()
+    data = np.arange(4, dtype=np.float64)
+    fabric.put(0, 1, 0, data, scatter=[(0, 8), (64, 8), (128, 16)])
+    eng.run(detect_deadlock=False)
+    assert spaces[1].copy_out(0, 8).view(np.float64)[0] == 0.0
+    assert spaces[1].copy_out(64, 8).view(np.float64)[0] == 1.0
+    assert np.allclose(spaces[1].copy_out(128, 16).view(np.float64),
+                       [2.0, 3.0])
+
+
+def test_gather_scatter_get_roundtrip():
+    eng, fabric, spaces = make_fabric()
+    spaces[1].copy_in(0, np.arange(8, dtype=np.float64).view(np.uint8))
+    # Gather elements 0, 3, 6 and scatter them to 512/520/528 locally.
+    fabric.get(0, 1, 0, 24, local_addr=0,
+               gather=[(0, 8), (24, 8), (48, 8)],
+               scatter=[(512, 8), (520, 8), (528, 8)])
+    eng.run(detect_deadlock=False)
+    assert np.allclose(spaces[0].copy_out(512, 24).view(np.float64),
+                       [0.0, 3.0, 6.0])
+
+
+def test_put_typed_target_bounds_checked():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(64)
+        yield from win.lock_all()
+        col = vector(8, 1, 4)          # extent 232 B > 64 B window
+        yield from put_typed(win, np.zeros(64), col,
+                             target=1 - ctx.rank)
+
+    with pytest.raises(Exception) as ei:
+        run_cluster(2, prog)
+    assert isinstance(ei.value.__cause__, RmaEpochError)
+
+
+def test_put_typed_outside_epoch_rejected():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(256)
+        yield from put_typed(win, np.zeros(8), contiguous(8),
+                             target=1 - ctx.rank)
+
+    with pytest.raises(Exception) as ei:
+        run_cluster(2, prog)
+    assert isinstance(ei.value.__cause__, RmaEpochError)
+
+
+def test_typed_strided_blocks_transfer():
+    """A multi-block vector lands each block at its stride remotely."""
+    def prog(ctx):
+        win = yield from ctx.win_allocate(512)
+        yield from win.lock_all()
+        if ctx.rank == 0:
+            a = np.arange(24.0)            # 3 blocks of 2, stride 4
+            t = vector(3, 2, 4)
+            yield from put_typed(win, a, t, 1, 0)
+            yield from win.flush(1)
+        yield from win.unlock_all()
+        yield from ctx.barrier()
+        if ctx.rank == 1:
+            got = win.local(np.float64, count=10)
+            assert got[0] == 0.0 and got[1] == 1.0
+            assert got[4] == 4.0 and got[5] == 5.0
+            assert got[8] == 8.0 and got[9] == 9.0
+            assert got[2] == 0.0           # gaps untouched
+        return None
+
+    run_cluster(2, prog)
+
+
+def test_typed_get_strided_blocks():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(512)
+        if ctx.rank == 1:
+            win.local(np.float64, count=12)[:] = np.arange(12.0)
+        yield from ctx.barrier()
+        yield from win.lock_all()
+        if ctx.rank == 0:
+            region = ctx.alloc(256)
+            buf = region.ndarray(np.float64)
+            t = vector(4, 1, 3)            # every third element
+            yield from get_typed(win, buf, t, region, 1, 0)
+            yield from win.flush(1)
+            got = region.ndarray(np.float64)
+            assert got[0] == 0.0 and got[3] == 3.0
+            assert got[6] == 6.0 and got[9] == 9.0
+        yield from win.unlock_all()
+        return None
+
+    run_cluster(2, prog)
+
+
+def test_typed_multi_count_strides_by_extent():
+    """count > 1 advances by the type's extent, like committed MPI types."""
+    def prog(ctx):
+        win = yield from ctx.win_allocate(512)
+        yield from win.lock_all()
+        if ctx.rank == 0:
+            a = np.arange(16.0)
+            t = vector(2, 1, 2)            # elements 0 and 2; extent 3
+            # count=2: second element starts at offset extent (3 elems).
+            yield from put_typed(win, a, t, 1, 0, count=2)
+            yield from win.flush(1)
+        yield from win.unlock_all()
+        yield from ctx.barrier()
+        if ctx.rank == 1:
+            got = win.local(np.float64, count=6)
+            assert got[0] == 0.0 and got[2] == 2.0      # first element
+            assert got[3] == 3.0 and got[5] == 5.0      # second element
+        return None
+
+    run_cluster(2, prog)

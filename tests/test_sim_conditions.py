@@ -1,0 +1,93 @@
+"""AllOf / AnyOf composite events."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+def test_all_of_waits_for_all(engine):
+    evs = [engine.event() for _ in range(3)]
+
+    def waiter(e):
+        got = yield e.all_of(evs)
+        return got
+
+    def firer(e):
+        for i, ev in enumerate(evs):
+            yield e.timeout(1.0)
+            ev.succeed(i * 10)
+
+    p = engine.process(waiter(engine))
+    engine.process(firer(engine))
+    engine.run()
+    assert engine.now == 3.0
+    assert list(p.value.values()) == [0, 10, 20]
+
+
+def test_any_of_fires_on_first(engine):
+    evs = [engine.event() for _ in range(3)]
+
+    def waiter(e):
+        got = yield e.any_of(evs)
+        return got
+
+    def firer(e):
+        yield e.timeout(2.0)
+        evs[1].succeed("second")
+        yield e.timeout(2.0)
+        evs[0].succeed("first")
+        evs[2].succeed("third")
+
+    p = engine.process(waiter(engine))
+    engine.process(firer(engine))
+    engine.run()
+    assert p.value == {evs[1]: "second"}
+
+
+def test_empty_all_of_fires_immediately(engine):
+    def waiter(e):
+        got = yield e.all_of([])
+        return got
+
+    p = engine.process(waiter(engine))
+    engine.run()
+    assert p.value == {}
+    assert engine.now == 0.0
+
+
+def test_all_of_with_pre_fired_events(engine):
+    ev1 = engine.event()
+    ev1.succeed("early")
+
+    def waiter(e):
+        ev2 = e.timeout(2.0, value="late")
+        got = yield e.all_of([ev1, ev2])
+        return sorted(got.values())
+
+    p = engine.process(waiter(engine))
+    engine.run()
+    assert p.value == ["early", "late"]
+
+
+def test_condition_propagates_failure(engine):
+    ev1, ev2 = engine.event(), engine.event()
+
+    def waiter(e):
+        try:
+            yield e.all_of([ev1, ev2])
+        except KeyError:
+            return "failed"
+
+    def firer(e):
+        yield e.timeout(1.0)
+        ev1.fail(KeyError("bad"))
+
+    p = engine.process(waiter(engine))
+    engine.process(firer(engine))
+    engine.run(detect_deadlock=False)
+    assert p.value == "failed"
+
+
+def test_condition_over_non_event_rejected(engine):
+    with pytest.raises(TypeError):
+        engine.all_of([1, 2, 3])

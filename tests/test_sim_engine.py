@@ -1,0 +1,288 @@
+"""Tests of the DES kernel: events, processes, time, determinism."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import Engine, Event, Interrupt, Timeout
+
+
+def test_time_starts_at_zero(engine):
+    assert engine.now == 0.0
+
+
+def test_timeout_advances_time(engine):
+    def prog(e):
+        yield e.timeout(2.5)
+        return e.now
+
+    p = engine.process(prog(engine))
+    engine.run()
+    assert p.value == 2.5
+    assert engine.now == 2.5
+
+
+def test_zero_timeout_is_legal(engine):
+    def prog(e):
+        yield e.timeout(0.0)
+        return "ok"
+
+    p = engine.process(prog(engine))
+    engine.run()
+    assert p.value == "ok"
+
+
+def test_negative_timeout_rejected(engine):
+    with pytest.raises(SimulationError):
+        engine.timeout(-1.0)
+
+
+def test_timeout_carries_value(engine):
+    def prog(e):
+        got = yield e.timeout(1.0, value="payload")
+        return got
+
+    p = engine.process(prog(engine))
+    engine.run()
+    assert p.value == "payload"
+
+
+def test_event_succeed_resumes_with_value(engine):
+    ev = engine.event()
+
+    def waiter(e):
+        got = yield ev
+        return got
+
+    def firer(e):
+        yield e.timeout(3.0)
+        ev.succeed(42)
+
+    p = engine.process(waiter(engine))
+    engine.process(firer(engine))
+    engine.run()
+    assert p.value == 42
+    assert engine.now == 3.0
+
+
+def test_event_fail_raises_in_waiter(engine):
+    ev = engine.event()
+
+    def waiter(e):
+        try:
+            yield ev
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    def firer(e):
+        yield e.timeout(1.0)
+        ev.fail(ValueError("boom"))
+
+    p = engine.process(waiter(engine))
+    engine.process(firer(engine))
+    engine.run()
+    assert p.value == "caught boom"
+
+
+def test_event_double_trigger_rejected(engine):
+    ev = engine.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_rejected(engine):
+    ev = engine.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_fail_requires_exception(engine):
+    with pytest.raises(TypeError):
+        engine.event().fail("not an exception")
+
+
+def test_process_return_value(engine):
+    def prog(e):
+        yield e.timeout(1.0)
+        return {"answer": 42}
+
+    p = engine.process(prog(engine))
+    engine.run()
+    assert p.value == {"answer": 42}
+
+
+def test_process_requires_generator(engine):
+    with pytest.raises(TypeError):
+        engine.process(lambda: None)
+
+
+def test_waiting_on_finished_process(engine):
+    def fast(e):
+        yield e.timeout(1.0)
+        return "fast-result"
+
+    def slow(e, fast_proc):
+        yield e.timeout(5.0)
+        got = yield fast_proc      # already processed
+        return got
+
+    fp = engine.process(fast(engine))
+    sp = engine.process(slow(engine, fp))
+    engine.run()
+    assert sp.value == "fast-result"
+
+
+def test_uncaught_crash_surfaces_from_run(engine):
+    def boom(e):
+        yield e.timeout(1.0)
+        raise RuntimeError("kapow")
+
+    engine.process(boom(engine))
+    with pytest.raises(SimulationError) as ei:
+        engine.run()
+    assert isinstance(ei.value.__cause__, RuntimeError)
+
+
+def test_crash_observed_by_waiter_does_not_escalate(engine):
+    def boom(e):
+        yield e.timeout(1.0)
+        raise RuntimeError("kapow")
+
+    def guard(e, proc):
+        try:
+            yield proc
+        except RuntimeError:
+            return "handled"
+
+    bp = engine.process(boom(engine))
+    gp = engine.process(guard(engine, bp))
+    engine.run()
+    assert gp.value == "handled"
+
+
+def test_deadlock_detected(engine):
+    def hang(e):
+        yield e.event()
+
+    engine.process(hang(engine), name="stuck")
+    with pytest.raises(DeadlockError) as ei:
+        engine.run()
+    assert "stuck" in str(ei.value)
+
+
+def test_deadlock_detection_optional(engine):
+    def hang(e):
+        yield e.event()
+
+    engine.process(hang(engine))
+    engine.run(detect_deadlock=False)   # drains quietly
+
+
+def test_run_until_stops_early(engine):
+    def prog(e):
+        for _ in range(10):
+            yield e.timeout(1.0)
+
+    engine.process(prog(engine))
+    engine.run(until=4.5, detect_deadlock=False)
+    assert engine.now == 4.5
+
+
+def test_run_until_past_rejected(engine):
+    def prog(e):
+        yield e.timeout(10.0)
+
+    engine.process(prog(engine))
+    engine.run(until=5.0, detect_deadlock=False)
+    with pytest.raises(SimulationError):
+        engine.run(until=1.0)
+
+
+def test_same_time_events_fire_in_creation_order(engine):
+    order = []
+
+    def prog(e, tag):
+        yield e.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        engine.process(prog(engine, tag))
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_interrupt_wakes_blocked_process(engine):
+    def sleeper(e):
+        try:
+            yield e.event()
+        except Interrupt as i:
+            return f"interrupted:{i.cause}"
+
+    def interrupter(e, victim):
+        yield e.timeout(2.0)
+        victim.interrupt("timeout")
+
+    v = engine.process(sleeper(engine))
+    engine.process(interrupter(engine, v))
+    engine.run()
+    assert v.value == "interrupted:timeout"
+    assert engine.now == 2.0
+
+
+def test_interrupt_dead_process_rejected(engine):
+    def quick(e):
+        yield e.timeout(0.5)
+
+    p = engine.process(quick(engine))
+    engine.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_yield_non_event_crashes_process(engine):
+    def bad(e):
+        yield "not an event"
+
+    engine.process(bad(engine))
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_peek(engine):
+    assert engine.peek() == float("inf")
+    engine.timeout(7.0)
+    assert engine.peek() == 7.0
+
+
+def test_nested_yield_from_composition(engine):
+    def inner(e):
+        yield e.timeout(1.0)
+        return 10
+
+    def outer(e):
+        a = yield from inner(e)
+        b = yield from inner(e)
+        return a + b
+
+    p = engine.process(outer(engine))
+    engine.run()
+    assert p.value == 20
+    assert engine.now == 2.0
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        eng = Engine()
+        log = []
+
+        def prog(e, tag):
+            for i in range(3):
+                yield e.timeout(0.5 * (tag + 1))
+                log.append((e.now, tag, i))
+
+        for tag in range(4):
+            eng.process(prog(eng, tag))
+        eng.run()
+        return log
+
+    assert build() == build()

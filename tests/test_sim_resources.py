@@ -1,0 +1,213 @@
+"""Resource, Store, Signal, Gate primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.resources import Gate, Resource, Signal, Store
+
+
+# -- Resource ---------------------------------------------------------------
+def test_resource_capacity_enforced(engine):
+    res = Resource(engine, capacity=2)
+    order = []
+
+    def worker(e, i):
+        yield from res.acquire()
+        order.append(("in", i, e.now))
+        yield e.timeout(1.0)
+        res.release()
+
+    for i in range(4):
+        engine.process(worker(engine, i))
+    engine.run()
+    times = [t for (_, _, t) in order]
+    assert times == [0.0, 0.0, 1.0, 1.0]
+
+
+def test_resource_fifo_fairness(engine):
+    res = Resource(engine, capacity=1)
+    order = []
+
+    def worker(e, i):
+        yield e.timeout(i * 0.001)    # stagger arrival
+        yield from res.acquire()
+        order.append(i)
+        yield e.timeout(1.0)
+        res.release()
+
+    for i in range(5):
+        engine.process(worker(engine, i))
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_resource_try_acquire(engine):
+    res = Resource(engine, capacity=1)
+    assert res.try_acquire()
+    assert not res.try_acquire()
+    res.release()
+    assert res.try_acquire()
+
+
+def test_release_idle_resource_rejected(engine):
+    res = Resource(engine, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_capacity_validation(engine):
+    with pytest.raises(SimulationError):
+        Resource(engine, capacity=0)
+
+
+# -- Store -------------------------------------------------------------------
+def test_store_fifo_order(engine):
+    store = Store(engine)
+    got = []
+
+    def consumer(e):
+        for _ in range(3):
+            item = yield from store.get()
+            got.append(item)
+
+    def producer(e):
+        for i in "abc":
+            yield e.timeout(1.0)
+            store.put(i)
+
+    engine.process(consumer(engine))
+    engine.process(producer(engine))
+    engine.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_store_get_before_put_blocks(engine):
+    store = Store(engine)
+
+    def consumer(e):
+        item = yield from store.get()
+        return (item, e.now)
+
+    def producer(e):
+        yield e.timeout(5.0)
+        store.put("x")
+
+    c = engine.process(consumer(engine))
+    engine.process(producer(engine))
+    engine.run()
+    assert c.value == ("x", 5.0)
+
+
+def test_store_try_get(engine):
+    store = Store(engine)
+    assert store.try_get() == (False, None)
+    store.put(9)
+    assert store.try_get() == (True, 9)
+
+
+def test_store_on_put_hook(engine):
+    store = Store(engine)
+    seen = []
+    store.on_put = seen.append
+    store.put("hello")
+    assert seen == ["hello"]
+
+
+def test_store_peek_all_nondestructive(engine):
+    store = Store(engine)
+    store.put(1)
+    store.put(2)
+    assert store.peek_all() == [1, 2]
+    assert len(store) == 2
+
+
+# -- Signal --------------------------------------------------------------
+def test_signal_broadcasts_to_all_waiters(engine):
+    sig = Signal(engine)
+    got = []
+
+    def waiter(e, i):
+        val = yield sig.wait()
+        got.append((i, val))
+
+    def firer(e):
+        yield e.timeout(1.0)
+        sig.fire("ping")
+
+    for i in range(3):
+        engine.process(waiter(engine, i))
+    engine.process(firer(engine))
+    engine.run()
+    assert sorted(got) == [(0, "ping"), (1, "ping"), (2, "ping")]
+    assert sig.fire_count == 1
+
+
+def test_signal_rearms_after_fire(engine):
+    sig = Signal(engine)
+    got = []
+
+    def waiter(e):
+        for _ in range(2):
+            val = yield sig.wait()
+            got.append(val)
+
+    def firer(e):
+        yield e.timeout(1.0)
+        sig.fire(1)
+        yield e.timeout(1.0)
+        sig.fire(2)
+
+    engine.process(waiter(engine))
+    engine.process(firer(engine))
+    engine.run()
+    assert got == [1, 2]
+
+
+# -- Gate ----------------------------------------------------------------
+def test_gate_blocks_until_open(engine):
+    gate = Gate(engine)
+
+    def waiter(e):
+        yield from gate.wait()
+        return e.now
+
+    def opener(e):
+        yield e.timeout(3.0)
+        gate.open()
+
+    w = engine.process(waiter(engine))
+    engine.process(opener(engine))
+    engine.run()
+    assert w.value == 3.0
+
+
+def test_open_gate_passes_immediately(engine):
+    gate = Gate(engine, opened=True)
+
+    def waiter(e):
+        yield from gate.wait()
+        return e.now
+        yield  # pragma: no cover
+
+    w = engine.process(waiter(engine))
+    engine.run()
+    assert w.value == 0.0
+
+
+def test_gate_close_blocks_again(engine):
+    gate = Gate(engine, opened=True)
+    gate.close()
+
+    def waiter(e):
+        yield from gate.wait()
+        return e.now
+
+    def opener(e):
+        yield e.timeout(1.0)
+        gate.open()
+
+    w = engine.process(waiter(engine))
+    engine.process(opener(engine))
+    engine.run()
+    assert w.value == 1.0

@@ -1,0 +1,69 @@
+"""Synchronous sends and the sweep helper."""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import sweep
+from tests.conftest import run_cluster
+
+
+def test_ssend_small_message_goes_rendezvous():
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.ssend(np.zeros(4), 1, tag=1)
+        else:
+            buf = np.zeros(4)
+            yield from ctx.comm.recv(buf, 0, 1)
+        return None
+
+    _, cluster = run_cluster(2, prog)
+    assert cluster.stats()["rndv_sends"] == 1
+    assert cluster.stats()["eager_copies"] == 0
+
+
+def test_ssend_completion_implies_matched_receive():
+    """The sender cannot complete before the receiver posts."""
+    def prog(ctx):
+        if ctx.rank == 0:
+            t0 = ctx.now
+            yield from ctx.comm.ssend(np.zeros(4), 1, tag=1)
+            return ctx.now - t0
+        yield from ctx.compute(50.0)       # receive posted late
+        buf = np.zeros(4)
+        yield from ctx.comm.recv(buf, 0, 1)
+        return None
+
+    results, _ = run_cluster(2, prog)
+    assert results[0] > 45.0               # waited for the late receiver
+
+
+def test_plain_send_completes_eagerly_in_contrast():
+    def prog(ctx):
+        if ctx.rank == 0:
+            t0 = ctx.now
+            yield from ctx.comm.send(np.zeros(4), 1, tag=1)
+            dt = ctx.now - t0
+            yield from ctx.barrier()
+            return dt
+        yield from ctx.compute(50.0)
+        buf = np.zeros(4)
+        yield from ctx.comm.recv(buf, 0, 1)
+        yield from ctx.barrier()
+        return None
+
+    results, _ = run_cluster(2, prog)
+    assert results[0] < 5.0                # eager: local completion
+
+
+def test_sweep_tabulates_grid():
+    from repro.apps.pingpong import run_pingpong
+
+    table = sweep(
+        lambda mode, size_bytes: run_pingpong(mode, size_bytes, iters=3),
+        {"mode": ["na", "mp"], "size_bytes": [64, 1024]},
+        title="pingpong sweep", metric="half_rtt_us")
+    assert len(table.rows) == 4
+    assert table.columns == ["mode", "size_bytes", "half_rtt_us"]
+    # Deterministic grid order: na/64, na/1024, mp/64, mp/1024.
+    assert [r[0] for r in table.rows] == ["na", "na", "mp", "mp"]
+    assert all(r[2] > 0 for r in table.rows)
