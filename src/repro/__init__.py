@@ -1,4 +1,5 @@
-"""repro — a full reproduction of *Notified Access* (Belli & Hoefler, IPDPS 2015).
+"""repro — a full reproduction of *Notified Access* (Belli & Hoefler,
+IPDPS 2015).
 
 The package implements, in pure Python over a deterministic discrete-event
 simulation:
@@ -13,6 +14,8 @@ simulation:
   flush, lock/unlock),
 * ``repro.core`` — the paper's contribution: *Notified Access* with
   ``<source, tag>`` matched, counted notifications,
+* ``repro.faults`` — deterministic fault injection (drop/duplicate/delay/
+  stall/node failure) with retry, backoff, and exactly-once dedup,
 * ``repro.models`` — closed-form LogGP performance models and calibration,
 * ``repro.apps`` — the paper's applications (ping-pong, overlap, pipelined
   stencil, reduction tree, task-based Cholesky),
@@ -33,7 +36,9 @@ from repro.errors import (
     RmaEpochError,
     MatchingError,
     AllocationError,
+    FaultError,
 )
+from repro.faults import FaultPlan
 
 __all__ = [
     "__version__",
@@ -46,4 +51,6 @@ __all__ = [
     "RmaEpochError",
     "MatchingError",
     "AllocationError",
+    "FaultError",
+    "FaultPlan",
 ]

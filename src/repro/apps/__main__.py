@@ -24,8 +24,8 @@ from repro.apps import (run_cholesky, run_halo2d, run_overlap,
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="python -m repro.apps",
-                                description=__doc__,
-                                formatter_class=argparse.RawDescriptionHelpFormatter)
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = p.add_subparsers(dest="app", required=True)
 
     def common(sp, modes, default_mode):

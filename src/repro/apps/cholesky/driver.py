@@ -138,12 +138,14 @@ def _cholesky_program(ctx, mode: str, ntiles: int, b: int, verify: bool,
                     ljk_ = panel_store[(k, j)]
                     yield from ctx.compute_flops(flops_syrk(b))
                     if verify:
-                        syrk_update(tm.get(k, k), ljk_)  # type: ignore[arg-type]
+                        syrk_update(tm.get(k, k),
+                                    ljk_)  # type: ignore[arg-type]
                     for i in range(k + 1, ntiles):
                         yield from ctx.compute_flops(flops_gemm(b))
                         if verify:
-                            gemm_update(tm.get(i, k),
-                                        panel_store[(i, j)],  # type: ignore[arg-type]
+                            gemm_update(
+                                tm.get(i, k),
+                                panel_store[(i, j)],  # type: ignore[arg-type]
                                         ljk_)  # type: ignore[arg-type]
             # Factor the panel: POTRF then TRSMs.
             yield from ctx.compute_flops(flops_potrf(b))
@@ -175,9 +177,10 @@ def _cholesky_program(ctx, mode: str, ntiles: int, b: int, verify: bool,
                 for i in range(j + 1, ntiles):
                     yield from ctx.compute_flops(flops_gemm(b))
                     if verify:
-                        gemm_update(tm.get(i, j),
-                                    panel_store[(i, k)],  # type: ignore[arg-type]
-                                    ljk)  # type: ignore[arg-type]
+                        gemm_update(
+                            tm.get(i, j),
+                            panel_store[(i, k)],  # type: ignore[arg-type]
+                            ljk)  # type: ignore[arg-type]
 
     elapsed = ctx.now - t0
     if mode == "onesided":

@@ -12,6 +12,8 @@ Modes
 ``na``              notified put (Listing 1)
 ``na_get``          notified get: each side reads the other's buffer and the
                     owner learns from the notification that it may reuse it
+``flush_notify``    plain put + notified flush (§III's rejected alternative:
+                    the notification is a second, ordered transfer)
 ``raw``             busy-wait on the payload bytes — the illegal
                     lower bound the paper plots as "unsynchronized"
 """
@@ -24,7 +26,7 @@ from repro.cluster import ClusterConfig, run_ranks
 from repro.errors import ReproError
 
 PINGPONG_MODES = ("mp", "onesided_pscw", "onesided_fence", "na", "na_get",
-                  "raw")
+                  "flush_notify", "raw")
 
 _TAG = 99
 
@@ -122,6 +124,36 @@ def _na_program(ctx, size_bytes: int, iters: int):
     return dt
 
 
+def _flush_notify_program(ctx, size_bytes: int, iters: int):
+    """Put + notified flush: the data and its notification are separate
+    transfers, so every handoff pays the second transaction §III costs
+    against — the baseline the reliability ablation compares NA to."""
+    client, server, partner = _client_server(ctx)
+    win = yield from ctx.win_allocate(2 * size_bytes)
+    n = size_bytes // 8
+    data = np.arange(n, dtype=np.float64) + ctx.rank
+    req = yield from ctx.na.notify_init(win, source=partner, tag=_TAG,
+                                        expected_count=1)
+    yield from win.lock_all()
+    yield from ctx.barrier()
+    t0 = ctx.now
+    for _ in range(iters):
+        if ctx.rank == client:
+            yield from win.put(data, partner, 0)
+            yield from ctx.na.flush_notify(win, partner, tag=_TAG)
+            yield from ctx.na.start(req)
+            yield from ctx.na.wait(req)
+        else:
+            yield from ctx.na.start(req)
+            yield from ctx.na.wait(req)
+            yield from win.put(data, partner, size_bytes)
+            yield from ctx.na.flush_notify(win, partner, tag=_TAG)
+    dt = (ctx.now - t0) / (2 * iters)
+    yield from win.unlock_all()
+    yield from ctx.na.request_free(req)
+    return dt
+
+
 def _na_get_program(ctx, size_bytes: int, iters: int):
     """Notified get ping-pong: pull the partner's buffer; the partner's
     notification doubles as the 'your data was consumed' pong."""
@@ -195,6 +227,7 @@ _PROGRAMS = {
     "onesided_fence": _fence_program,
     "na": _na_program,
     "na_get": _na_get_program,
+    "flush_notify": _flush_notify_program,
     "raw": _raw_program,
 }
 
@@ -219,7 +252,7 @@ def run_pingpong(mode: str, size_bytes: int, iters: int = 50,
     results, cluster = run_ranks(
         2, lambda ctx: program(ctx, size_bytes, iters), config=config)
     half_rtt = float(results[0])
-    return {
+    out = {
         "mode": mode,
         "size_bytes": size_bytes,
         "iters": iters,
@@ -228,3 +261,6 @@ def run_pingpong(mode: str, size_bytes: int, iters: int = 50,
         "bandwidth_MBps": size_bytes / half_rtt if half_rtt else 0.0,
         "wire_transactions": cluster.tracer.wire_transactions(),
     }
+    if cluster.fabric.faults is not None:
+        out["faults"] = cluster.stats()["faults"]
+    return out

@@ -83,6 +83,30 @@ def to_markdown(table: Table) -> str:
     return "\n".join(lines)
 
 
+#: recovery counters surfaced in fault tables, in display order
+FAULT_COUNTERS = ("drops", "retries", "duplicates", "dup_suppressed",
+                  "lost_ops")
+
+
+def fault_table(results: Sequence[dict], title: str = "Reliability sweep",
+                counters: Sequence[str] = FAULT_COUNTERS) -> Table:
+    """Tabulate fault-injection sweep results.
+
+    Each ``results`` entry is a :func:`repro.apps.pingpong.run_pingpong`-style
+    dict: ``mode``, ``drop_prob`` (added by the sweep driver),
+    ``half_rtt_us``, and optionally a ``faults`` counter dict (absent for
+    fault-free runs — rendered as zeros so columns stay comparable).
+    """
+    table = Table(title, ["mode", "drop_prob", "half_rtt_us",
+                          *counters])
+    for res in results:
+        fl = res.get("faults") or {}
+        table.add(res["mode"], res.get("drop_prob", 0.0),
+                  res["half_rtt_us"],
+                  *(fl.get(c, 0) for c in counters))
+    return table
+
+
 def sweep(fn, grid: dict, title: str, metric: str) -> Table:
     """Run ``fn(**point)`` over the cartesian grid; tabulate one metric.
 

@@ -27,6 +27,7 @@ from repro.core.counters import CounterEngine
 from repro.core.overwriting import OverwriteEngine
 from repro.core.engine import NotifyEngine
 from repro.errors import SimulationError
+from repro.faults import FaultPlan
 from repro.memory.address import AddressSpace, DEFAULT_SPACE
 from repro.memory.cache import CacheModel
 from repro.mpi.comm import Communicator
@@ -57,6 +58,8 @@ class ClusterConfig:
     #: CPU compute throughput used by ``Rank.compute_flops`` (flops per µs)
     flops_per_us: float = 8000.0
     detect_deadlock: bool = True
+    #: optional fault-injection plan (None = perfectly reliable fabric)
+    faults: Optional[FaultPlan] = None
 
 
 class Rank:
@@ -104,7 +107,7 @@ class Rank:
         return self.space.alloc(nbytes, align=align)
 
     def win_allocate(self, nbytes: int, disp_unit: int = 1):
-        """Collective window allocation (see :func:`repro.rma.win_allocate`)."""
+        """Collective window allocation (:func:`repro.rma.win_allocate`)."""
         win = yield from win_allocate(self, nbytes, disp_unit)
         return win
 
@@ -129,7 +132,7 @@ class Cluster:
                        for r in range(config.nranks)]
         self.fabric = Fabric(self.engine, self.machine, self.spaces,
                              params=config.params, tracer=self.tracer,
-                             seed=config.seed)
+                             seed=config.seed, fault_plan=config.faults)
         self.win_registry = WindowRegistry(config.nranks)
         self.ranks = [Rank(self, r) for r in range(config.nranks)]
         endpoints = []
@@ -193,7 +196,7 @@ class Cluster:
 
     def stats(self) -> dict[str, Any]:
         """Summary counters for tests and reports."""
-        return {
+        out: dict[str, Any] = {
             "time_us": self.engine.now,
             "wire_transactions": self.tracer.wire_transactions(),
             "bytes_on_wire": self.tracer.bytes_by_kind.get("wire", 0),
@@ -210,6 +213,11 @@ class Cluster:
             "live_na_requests": sum(c.na.live_requests
                                     for c in self.ranks),
         }
+        if self.fabric.faults is not None:
+            out["faults"] = self.fabric.faults.stats()
+            out["faults"]["dup_suppressed_nic"] = sum(
+                c.nic.dup_suppressed for c in self.ranks)
+        return out
 
 
 def run_ranks(nranks: int,

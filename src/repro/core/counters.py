@@ -194,8 +194,11 @@ class CounterEngine:
         h = self.ctx.fabric.put(self.rank, target, addr, data,
                                 win_id=win.id)
         win.record_pending(target, h)
-        # NIC-side counter update at commit time.
-        self.ctx.fabric._at(h.commit_at, lambda: cell.increment(nbytes))
+        # NIC-side counter update at commit time.  A transfer the fault
+        # layer declared lost never commits, so its counter never moves.
+        if not h.failed:
+            self.ctx.fabric._at(h.commit_at,
+                                lambda: cell.increment(nbytes))
         if h.cpu_busy:
             yield self.engine.timeout(h.cpu_busy)
         return h

@@ -10,6 +10,7 @@ request structure) — the paper's two-compulsory-miss argument.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional
@@ -49,7 +50,11 @@ class UnexpectedQueue:
         self.cache = cache
         self.slots = slots
         self._entries: Deque[UqEntry] = deque()
-        self._next_slot = 0
+        # Free-slot list, not a rotating cursor: entries are removed in
+        # match order, not FIFO order, so after wraparound a cursor would
+        # hand a live entry's slot to a new one and corrupt the per-slot
+        # cache accounting.  Lowest-index-first keeps the layout compact.
+        self._free_slots: list[int] = list(range(slots))
         self.appended = 0
         self.matched = 0
 
@@ -63,11 +68,11 @@ class UnexpectedQueue:
 
     def append(self, win_id: int, source: int, tag: int, nbytes: int,
                time: float) -> UqEntry:
-        if len(self._entries) >= self.slots:
+        if not self._free_slots:
             raise MatchingError(
                 f"unexpected queue overflow ({self.slots} slots)")
-        slot_addr = self.region.addr + self._next_slot * CACHE_LINE
-        self._next_slot = (self._next_slot + 1) % self.slots
+        slot = heapq.heappop(self._free_slots)
+        slot_addr = self.region.addr + slot * CACHE_LINE
         entry = UqEntry(win_id, source, tag, nbytes, time, slot_addr)
         self._entries.append(entry)
         self.appended += 1
@@ -84,6 +89,9 @@ class UnexpectedQueue:
             if req.matches(entry.win_id, entry.source, entry.tag):
                 del self._entries[i]
                 self.matched += 1
+                heapq.heappush(
+                    self._free_slots,
+                    (entry.slot_addr - self.region.addr) // CACHE_LINE)
                 return entry
         return None
 

@@ -53,5 +53,16 @@ class NetworkError(ReproError):
     """Transport-level failure (e.g. undeliverable packet, bad route)."""
 
 
+class FaultError(NetworkError):
+    """An injected fault the transport could not recover from.
+
+    Raised by the fault-injection layer: retry exhaustion on a lossy link,
+    an operation addressed to a failed node, or an invalid
+    :class:`~repro.faults.FaultPlan`.  Waiters on the affected operation's
+    events get this thrown in, so an unsurvivable fault crashes the rank
+    program loudly instead of hanging it.
+    """
+
+
 class BufferError_(ReproError):
     """A user buffer does not fit the described transfer."""

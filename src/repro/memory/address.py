@@ -63,8 +63,9 @@ class Region:
         return self.space.mem[start:start + nbytes].tobytes()
 
     def write(self, offset: int, data: bytes | np.ndarray) -> None:
-        raw = np.frombuffer(data, dtype=np.uint8) if isinstance(
-            data, (bytes, bytearray, memoryview)) else data.view(np.uint8).ravel()
+        raw = (np.frombuffer(data, dtype=np.uint8)
+               if isinstance(data, (bytes, bytearray, memoryview))
+               else data.view(np.uint8).ravel())
         self._check(offset, raw.nbytes)
         start = self.addr + offset
         self.space.mem[start:start + raw.nbytes] = raw
@@ -102,9 +103,11 @@ class AddressSpace:
     def alloc(self, nbytes: int, align: int = 64) -> Region:
         """Allocate ``nbytes`` aligned to ``align``; raises AllocationError."""
         if nbytes <= 0:
-            raise AllocationError(f"allocation size must be positive, got {nbytes}")
+            raise AllocationError(
+                f"allocation size must be positive, got {nbytes}")
         if align <= 0 or (align & (align - 1)) != 0:
-            raise AllocationError(f"alignment must be a power of two, got {align}")
+            raise AllocationError(
+                f"alignment must be a power of two, got {align}")
         for i, (addr, size) in enumerate(self._holes):
             start = (addr + align - 1) & ~(align - 1)
             pad = start - addr
@@ -127,7 +130,8 @@ class AddressSpace:
     def free(self, region: Region) -> None:
         """Return a region's bytes to the free list, coalescing neighbours."""
         if region.space is not self:
-            raise AllocationError("region belongs to a different address space")
+            raise AllocationError(
+                "region belongs to a different address space")
         addr, size = region.addr, region.nbytes
         i = bisect.bisect_left(self._holes, (addr, 0))
         # Guard against double-free / overlap corruption.
@@ -157,7 +161,8 @@ class AddressSpace:
         raw = data.view(np.uint8).ravel()
         if addr < 0 or addr + raw.nbytes > self.size:
             raise BufferError_(
-                f"DMA write [{addr}, {addr + raw.nbytes}) outside address space")
+                f"DMA write [{addr}, {addr + raw.nbytes}) outside "
+                "address space")
         self.mem[addr:addr + raw.nbytes] = raw
 
     def copy_out(self, addr: int, nbytes: int) -> np.ndarray:

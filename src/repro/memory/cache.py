@@ -69,7 +69,7 @@ class CacheModel:
 
     def touch(self, addr: int, nbytes: int, space: int = 0,
               label: str = "") -> int:
-        """Access ``[addr, addr+nbytes)``; returns the number of line misses."""
+        """Access ``[addr, addr+nbytes)``; returns the line-miss count."""
         misses = 0
         for lineno in self._lines(addr, nbytes):
             key = (space, lineno)

@@ -156,8 +156,8 @@ class Communicator:
 
     # -- sub-communicators --------------------------------------------------
     def split(self, color: int,
-              key: Optional[int] = None) -> Generator[object, object,
-                                                      Optional["Communicator"]]:
+              key: Optional[int] = None,
+              ) -> Generator[object, object, Optional["Communicator"]]:
         """MPI_Comm_split: collective; ranks with equal ``color`` form a
         new communicator, ordered by ``(key, parent rank)``.
 

@@ -57,6 +57,7 @@ class CqEntry:
     target_addr: Optional[int] = None
     local_id: Optional[int] = None   # matches a pending handle at the origin
     inline: Optional[Any] = None     # numpy payload for shm inline transfer
+    seq: Optional[int] = None        # transfer sequence number (fault dedup)
     meta: dict = field(default_factory=dict)
 
 

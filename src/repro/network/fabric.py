@@ -18,12 +18,14 @@ paper's notified-read semantics (§VIII).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 import numpy as np
 
 from repro.errors import NetworkError
+from repro.faults import FaultInjector, FaultPlan, TransferFate
 from repro.memory.address import AddressSpace
 from repro.network.cq import CompletionQueue, CqEntry
 from repro.network.loggp import TransportParams
@@ -53,6 +55,7 @@ class OpHandle:
     nbytes: int = 0
     target: int = -1
     commit_at: float = 0.0    # absolute time the data commits remotely
+    failed: bool = False      # abandoned by the fault layer (never commits)
 
 
 @dataclass
@@ -91,6 +94,31 @@ class Nic:
         #: receive-side link occupancy horizon (incast serialization)
         self.rx_next_free = 0.0
         self.rx_bytes = 0
+        #: transfer sequence numbers already delivered (fault dedup) and
+        #: how many duplicate deliveries the NIC filtered out
+        self._delivered_seqs: set[int] = set()
+        self.dup_suppressed = 0
+        if fabric.faults is not None:
+            self.fma.faults = fabric.faults
+            self.bte.faults = fabric.faults
+            self.shm.faults = fabric.faults
+
+    def first_delivery(self, seq: Optional[int]) -> bool:
+        """True exactly once per transfer sequence number.
+
+        The completion path calls this before committing payload bytes or
+        posting a notification: a retransmitted-then-also-delivered (or
+        outright duplicated) transfer must have its side effects applied
+        exactly once — accumulates and notification counters are not
+        idempotent.
+        """
+        if seq is None:
+            return True
+        if seq in self._delivered_seqs:
+            self.dup_suppressed += 1
+            return False
+        self._delivered_seqs.add(seq)
+        return True
 
     def poll_notification(self) -> Optional[CqEntry]:
         """Pop the oldest notification across uGNI CQ and shm ring.
@@ -125,7 +153,8 @@ class Fabric:
     def __init__(self, engine: Engine, machine: Machine,
                  spaces: list[AddressSpace],
                  params: Optional[TransportParams] = None,
-                 tracer: Optional[Tracer] = None, seed: int = 42):
+                 tracer: Optional[Tracer] = None, seed: int = 42,
+                 fault_plan: Optional[FaultPlan] = None):
         if len(spaces) != machine.nranks:
             raise NetworkError("one address space per rank required")
         self.engine = engine
@@ -134,6 +163,12 @@ class Fabric:
         self.params = params or TransportParams()
         self.tracer = tracer or Tracer(enabled=False)
         self.rng = RngStream(seed, "fabric")
+        #: fault injection (None on a fault-free fabric — the fast path)
+        self.faults: Optional[FaultInjector] = None
+        if fault_plan is not None and fault_plan.active:
+            self.faults = FaultInjector(fault_plan, seed,
+                                        tracer=self.tracer)
+        self._op_seq = itertools.count(1)
         self.nics = [Nic(self, r) for r in range(machine.nranks)]
         #: optional hook invoked at sys-packet arrival (async progress)
         self.on_sys_arrival: Optional[Callable[[int, SysPacket], None]] = None
@@ -185,20 +220,55 @@ class Fabric:
             tries += 1
         return extra
 
+    def _fate(self, origin: int, target: int, nbytes: int,
+              same_node: bool) -> Optional[TransferFate]:
+        """Ask the injector (if any) what happens to this transfer."""
+        if self.faults is None:
+            return None
+        return self.faults.transfer_fate(
+            origin, target, nbytes, "shm" if same_node else "ugni",
+            self.engine.now)
+
+    def _next_seq(self) -> Optional[int]:
+        """Sequence number for delivery dedup (None on fault-free runs)."""
+        if self.faults is None:
+            return None
+        return next(self._op_seq)
+
+    def _fail_lost(self, kind: str, origin: int, target: int,
+                   fate: TransferFate, *events: Event) -> None:
+        """Fail ``events`` once the transport gives up on a lost op."""
+        assert self.faults is not None
+        err = self.faults.lost_error(kind, origin, target)
+        when = self.engine.now + fate.fail_after
+        for ev in events:
+            self._at(when, lambda ev=ev: ev.fail(err))
+
     def _post_notification(self, origin: int, accessed: int, kind: str,
                            nbytes: int, immediate: int, win_id: Optional[int],
                            target_addr: Optional[int], when: float,
                            same_node: bool,
-                           inline: Optional[np.ndarray] = None) -> None:
-        """Post a dest-CQ/ring entry at ``accessed`` rank at time ``when``."""
+                           inline: Optional[np.ndarray] = None,
+                           seq: Optional[int] = None) -> None:
+        """Post a dest-CQ/ring entry at ``accessed`` rank at time ``when``.
+
+        With ``seq`` set, the post goes through the NIC's exactly-once
+        filter — a duplicated delivery of the same transfer is suppressed
+        and counted instead of double-notifying.
+        """
         nic = self.nics[accessed]
         queue = nic.shm_ring if same_node else nic.dest_cq
 
         def deliver() -> None:
+            if not nic.first_delivery(seq):
+                self.faults.suppressed(origin, accessed, kind,
+                                       self.engine.now)
+                return
             queue.post(CqEntry(kind=kind, source=origin, target=accessed,
                                nbytes=nbytes, time=self.engine.now,
                                immediate=immediate, win_id=win_id,
-                               target_addr=target_addr, inline=inline))
+                               target_addr=target_addr, inline=inline,
+                               seq=seq))
 
         self._at(when, deliver)
 
@@ -236,6 +306,31 @@ class Fabric:
         same = self.machine.same_node(origin, target)
         nic = self.nics[origin]
         nic.ops_issued += 1
+        fate = self._fate(origin, target, nbytes, same)
+
+        local_done = self.engine.event(name=f"put.local:{origin}->{target}")
+        remote_done = self.engine.event(name=f"put.remote:{origin}->{target}")
+
+        if fate is not None and fate.lost:
+            # Retries exhausted or a dead endpoint: the payload never
+            # commits and no notification is posted.  The origin buffer is
+            # still snapshotted (local_done fires), but completion waiters
+            # get a FaultError once the transport gives up.
+            if same:
+                plan = nic.shm.plan_put(nbytes)
+            else:
+                eng = nic.fma if nbytes <= self.params.fma_max else nic.bte
+                plan = eng.plan(nbytes)
+            self.tracer.emit(self.engine.now, "wire", origin, target,
+                             nbytes, op="put",
+                             medium="shm" if same else "ugni",
+                             notified=immediate is not None, lost=True)
+            self._at(plan.inject_end, lambda: local_done.succeed(None))
+            self._fail_lost("put", origin, target, fate, remote_done)
+            return OpHandle("put", plan.cpu_busy, local_done, remote_done,
+                            nbytes=nbytes, target=target,
+                            commit_at=self.engine.now + fate.fail_after,
+                            failed=True)
 
         if same:
             inline = (immediate is not None
@@ -244,8 +339,9 @@ class Fabric:
         else:
             inline = False
             eng = nic.fma if nbytes <= self.params.fma_max else nic.bte
+            extra = fate.extra_delay if fate is not None else 0.0
             plan = eng.plan(nbytes, extra_delay=self._drop_penalty()
-                            + self._hop_extra(origin, target))
+                            + self._hop_extra(origin, target) + extra)
             commit = self._rx_reserve(target, plan.commit_at, nbytes,
                                       eng.params.G)
             plan = TransferPlan(cpu_busy=plan.cpu_busy,
@@ -257,8 +353,6 @@ class Fabric:
                          op="put", medium="shm" if same else "ugni",
                          notified=immediate is not None)
 
-        local_done = self.engine.event(name=f"put.local:{origin}->{target}")
-        remote_done = self.engine.event(name=f"put.remote:{origin}->{target}")
         space = self.spaces[target]
 
         def commit() -> None:
@@ -280,12 +374,41 @@ class Fabric:
             dst = space.mem[target_addr:target_addr + nbytes].view(acc_dtype)
             ufunc(dst, raw.view(acc_dtype), out=dst)
 
-        self._at(plan.commit_at, commit)
-        if immediate is not None:
-            self._post_notification(
-                origin, target, "put", nbytes, immediate, win_id,
-                target_addr, plan.commit_at, same,
-                inline=(raw if inline else None))
+        seq = self._next_seq()
+        if seq is None:
+            # Fault-free fast path: scheduling identical to the original
+            # implementation (commit and notification as separate events).
+            self._at(plan.commit_at, commit)
+            if immediate is not None:
+                self._post_notification(
+                    origin, target, "put", nbytes, immediate, win_id,
+                    target_addr, plan.commit_at, same,
+                    inline=(raw if inline else None))
+        else:
+            # Completion path with exactly-once dedup: payload commit and
+            # notification post travel together under one sequence number,
+            # so a duplicated delivery re-applies neither (accumulates and
+            # notification counters are not idempotent).
+            tnic = self.nics[target]
+            queue = tnic.shm_ring if same else tnic.dest_cq
+
+            def deliver() -> None:
+                if not tnic.first_delivery(seq):
+                    self.faults.suppressed(origin, target, "put",
+                                           self.engine.now)
+                    return
+                commit()
+                if immediate is not None:
+                    queue.post(CqEntry(
+                        kind="put", source=origin, target=target,
+                        nbytes=nbytes, time=self.engine.now,
+                        immediate=immediate, win_id=win_id,
+                        target_addr=target_addr,
+                        inline=(raw if inline else None), seq=seq))
+
+            self._at(plan.commit_at, deliver)
+            if fate is not None and fate.duplicate:
+                self._at(plan.commit_at + fate.dup_lag, deliver)
         # Origin buffer reuse: data was snapshotted at injection.
         self._at(plan.inject_end, lambda: local_done.succeed(None))
         self._at(plan.ack_at, lambda: remote_done.succeed(None))
@@ -325,6 +448,22 @@ class Fabric:
         remote_done = self.engine.event(name=f"get.remote:{origin}<-{target}")
         tspace = self.spaces[target]
         ospace = self.spaces[origin]
+        fate = self._fate(origin, target, nbytes, same)
+
+        if fate is not None and fate.lost:
+            # The read never completes: no data arrives at the origin and
+            # the target is never notified.
+            cpu_busy = (0.0 if same
+                        else nic.fma.plan(GET_REQUEST_BYTES).cpu_busy)
+            self.tracer.emit(self.engine.now, "wire", origin, target,
+                             GET_REQUEST_BYTES, op="get-req",
+                             medium="shm" if same else "ugni", lost=True)
+            self._fail_lost("get", origin, target, fate,
+                            local_done, remote_done)
+            return OpHandle("get", cpu_busy, local_done, remote_done,
+                            nbytes=nbytes, target=target,
+                            commit_at=self.engine.now + fate.fail_after,
+                            failed=True)
 
         if same:
             plan = nic.shm.plan_get(nbytes)
@@ -341,10 +480,13 @@ class Fabric:
             req = nic.fma.plan(GET_REQUEST_BYTES,
                                extra_delay=self._drop_penalty() + hop)
             cpu_busy = req.cpu_busy
-            # Response leg: served by the target NIC's engine of proper size.
+            # Response leg: served by the target NIC's engine of proper
+            # size; injected retry/jitter delay rides on this leg.
+            extra = fate.extra_delay if fate is not None else 0.0
             tnic = self.nics[target]
             teng = tnic.fma if nbytes <= p.fma_max else tnic.bte
-            resp = teng.plan(nbytes, extra_delay=self._drop_penalty() + hop,
+            resp = teng.plan(nbytes,
+                             extra_delay=self._drop_penalty() + hop + extra,
                              not_before=req.commit_at)
             serve_at = resp.inject_end
             data_at = self._rx_reserve(origin, resp.commit_at, nbytes,
@@ -388,8 +530,17 @@ class Fabric:
         self._at(data_at, lambda: local_done.succeed(None))
         self._at(data_at, lambda: remote_done.succeed(None))
         if immediate is not None:
+            # The data legs are idempotent copies; only the notification
+            # needs the exactly-once filter under duplication.
+            seq = self._next_seq()
             self._post_notification(origin, target, "get", nbytes, immediate,
-                                    win_id, target_addr, notify_at, same)
+                                    win_id, target_addr, notify_at, same,
+                                    seq=seq)
+            if fate is not None and fate.duplicate:
+                self._post_notification(origin, target, "get", nbytes,
+                                        immediate, win_id, target_addr,
+                                        notify_at + fate.dup_lag, same,
+                                        seq=seq)
         return OpHandle("get", cpu_busy, local_done, remote_done,
                         nbytes=nbytes, target=target, commit_at=data_at)
 
@@ -411,6 +562,23 @@ class Fabric:
         nic = self.nics[origin]
         nic.ops_issued += 1
         itemsize = np.dtype(dtype).itemsize
+        fate = self._fate(origin, target, itemsize, same)
+
+        local_done = self.engine.event(name=f"amo.local:{origin}->{target}")
+        remote_done = self.engine.event(name=f"amo.remote:{origin}->{target}")
+
+        if fate is not None and fate.lost:
+            cpu_busy = (0.0 if same
+                        else nic.fma.plan(AMO_REQUEST_BYTES).cpu_busy)
+            self.tracer.emit(self.engine.now, "wire", origin, target,
+                             AMO_REQUEST_BYTES, op=f"amo-{op}",
+                             medium="shm" if same else "ugni", lost=True)
+            self._fail_lost("amo", origin, target, fate,
+                            local_done, remote_done)
+            return OpHandle("amo", cpu_busy, local_done, remote_done,
+                            nbytes=itemsize, target=target,
+                            commit_at=self.engine.now + fate.fail_after,
+                            failed=True)
 
         if same:
             plan = nic.shm.plan_amo()
@@ -421,8 +589,10 @@ class Fabric:
                              itemsize, op=f"amo-{op}", medium="shm")
         else:
             hop = self._hop_extra(origin, target)
+            extra = fate.extra_delay if fate is not None else 0.0
             req = nic.fma.plan(AMO_REQUEST_BYTES,
-                               extra_delay=self._drop_penalty() + hop)
+                               extra_delay=self._drop_penalty() + hop
+                               + extra)
             cpu_busy = req.cpu_busy
             exec_at = req.commit_at
             done_at = exec_at + self.params.fma.L + hop
@@ -432,8 +602,6 @@ class Fabric:
                              AMO_RESPONSE_BYTES, op="amo-resp", medium="ugni")
 
         tspace = self.spaces[target]
-        local_done = self.engine.event(name=f"amo.local:{origin}->{target}")
-        remote_done = self.engine.event(name=f"amo.remote:{origin}->{target}")
         result: list[int] = [0]
 
         def execute() -> None:
@@ -449,11 +617,36 @@ class Fabric:
                     view[0] = operand
             # "no_op" fetches without modifying.
 
-        self._at(exec_at, execute)
-        if immediate is not None:
-            self._post_notification(origin, target, "amo", itemsize,
-                                    immediate, win_id, target_addr, exec_at,
-                                    same)
+        seq = self._next_seq()
+        if seq is None:
+            self._at(exec_at, execute)
+            if immediate is not None:
+                self._post_notification(origin, target, "amo", itemsize,
+                                        immediate, win_id, target_addr,
+                                        exec_at, same)
+        else:
+            # Atomics are the least idempotent op of all: execute and
+            # notification share one sequence number so a duplicated
+            # delivery applies neither twice.
+            tnic = self.nics[target]
+            queue = tnic.shm_ring if same else tnic.dest_cq
+
+            def deliver() -> None:
+                if not tnic.first_delivery(seq):
+                    self.faults.suppressed(origin, target, "amo",
+                                           self.engine.now)
+                    return
+                execute()
+                if immediate is not None:
+                    queue.post(CqEntry(kind="amo", source=origin,
+                                       target=target, nbytes=itemsize,
+                                       time=self.engine.now,
+                                       immediate=immediate, win_id=win_id,
+                                       target_addr=target_addr, seq=seq))
+
+            self._at(exec_at, deliver)
+            if fate is not None and fate.duplicate:
+                self._at(exec_at + fate.dup_lag, deliver)
         self._at(done_at, lambda: local_done.succeed(None))
         self._at(done_at, lambda: remote_done.succeed(result[0]))
         return OpHandle("amo", cpu_busy, local_done, remote_done,
@@ -473,12 +666,36 @@ class Fabric:
         """
         same = self.machine.same_node(origin, target)
         nic = self.nics[origin]
+        fate = self._fate(origin, target, nbytes, same)
+        local_done = self.engine.event(name=f"sys.local:{origin}->{target}")
+        remote_done = self.engine.event(name=f"sys.remote:{origin}->{target}")
+
+        if fate is not None and fate.lost:
+            # The protocol message vanishes; the peer that was waiting on
+            # it will sit in its blocking call until deadlock detection
+            # fires — exactly how a lost control message kills an MPI job.
+            if same:
+                plan = nic.shm.plan_put(nbytes)
+            else:
+                eng = nic.fma if nbytes <= self.params.fma_max else nic.bte
+                plan = eng.plan(nbytes)
+            self.tracer.emit(self.engine.now, "wire", origin, target,
+                             nbytes, op=f"sys-{ptype}",
+                             medium="shm" if same else "ugni", lost=True)
+            self._at(plan.inject_end, lambda: local_done.succeed(None))
+            self._fail_lost(f"sys-{ptype}", origin, target, fate,
+                            remote_done)
+            return OpHandle(f"sys-{ptype}", plan.cpu_busy, local_done,
+                            remote_done, nbytes=nbytes, target=target,
+                            failed=True)
+
         if same:
             plan = nic.shm.plan_put(nbytes)
         else:
             eng = nic.fma if nbytes <= self.params.fma_max else nic.bte
+            extra = fate.extra_delay if fate is not None else 0.0
             plan = eng.plan(nbytes, extra_delay=self._drop_penalty()
-                            + self._hop_extra(origin, target))
+                            + self._hop_extra(origin, target) + extra)
             commit = self._rx_reserve(target, plan.commit_at, nbytes,
                                       eng.params.G)
             plan = TransferPlan(cpu_busy=plan.cpu_busy,
@@ -487,22 +704,27 @@ class Fabric:
                                 ack_at=commit + eng.params.L)
         self.tracer.emit(self.engine.now, "wire", origin, target, nbytes,
                          op=f"sys-{ptype}", medium="shm" if same else "ugni")
-        local_done = self.engine.event(name=f"sys.local:{origin}->{target}")
-        remote_done = self.engine.event(name=f"sys.remote:{origin}->{target}")
         snapshot = None if data is None else np.ascontiguousarray(
             data).view(np.uint8).ravel().copy()
+        seq = self._next_seq()
 
         def deliver() -> None:
+            tnic = self.nics[target]
+            if not tnic.first_delivery(seq):
+                self.faults.suppressed(origin, target, f"sys-{ptype}",
+                                       self.engine.now)
+                return
             pkt = SysPacket(ptype=ptype, source=origin, target=target,
                             nbytes=nbytes, payload=dict(payload or {}),
                             data=snapshot, time=self.engine.now)
-            tnic = self.nics[target]
             tnic.sys_inbox.put(pkt)
             tnic.sys_arrival.fire(pkt)
             if self.on_sys_arrival is not None:
                 self.on_sys_arrival(target, pkt)
 
         self._at(plan.commit_at, deliver)
+        if fate is not None and fate.duplicate:
+            self._at(plan.commit_at + fate.dup_lag, deliver)
         self._at(plan.inject_end, lambda: local_done.succeed(None))
         self._at(plan.ack_at, lambda: remote_done.succeed(None))
         return OpHandle(f"sys-{ptype}", plan.cpu_busy, local_done,

@@ -11,9 +11,14 @@ with computation the way BTE transfers can.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.network.loggp import LogGPParams, TransportParams
 from repro.network.transports.base import TransferPlan
 from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultInjector
 
 
 class ShmTransport:
@@ -29,9 +34,18 @@ class ShmTransport:
         self.name = name
         self.inline_puts = 0
         self.copy_puts = 0
+        #: optional fault injector.  Intra-node data never rides packets,
+        #: so only transient stalls (a busy ring / contended segment)
+        #: apply on this path.
+        self.faults: Optional["FaultInjector"] = None
 
     def is_inline(self, nbytes: int) -> bool:
         return nbytes <= self.params.inline_max
+
+    def _stall(self) -> float:
+        if self.faults is not None:
+            return self.faults.nic_stall("shm", self.engine.now)
+        return 0.0
 
     def plan_put(self, nbytes: int) -> TransferPlan:
         """Price a put; the CPU is busy for the whole copy."""
@@ -46,6 +60,7 @@ class ShmTransport:
             # notification line write.
             self.copy_puts += 1
             busy = self.shm.L + nbytes * self.shm.G
+        busy += self._stall()
         end = now + busy
         return TransferPlan(cpu_busy=busy, inject_end=end, commit_at=end,
                             ack_at=end)
@@ -53,7 +68,7 @@ class ShmTransport:
     def plan_get(self, nbytes: int) -> TransferPlan:
         """Price a get: the origin CPU copies out of the remote segment."""
         now = self.engine.now
-        busy = self.shm.L + nbytes * self.shm.G
+        busy = self.shm.L + nbytes * self.shm.G + self._stall()
         end = now + busy
         return TransferPlan(cpu_busy=busy, inject_end=end, commit_at=end,
                             ack_at=end)
@@ -61,7 +76,7 @@ class ShmTransport:
     def plan_amo(self) -> TransferPlan:
         """Price an atomic op on the remote segment (one line round trip)."""
         now = self.engine.now
-        busy = 2 * self.shm.L
+        busy = 2 * self.shm.L + self._stall()
         end = now + busy
         return TransferPlan(cpu_busy=busy, inject_end=end, commit_at=end,
                             ack_at=end)

@@ -15,9 +15,14 @@ completion queue — the mechanism Notified Access is built on (§IV-B).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.network.loggp import LogGPParams
 from repro.network.transports.base import InjectEngine, TransferPlan
 from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultInjector
 
 
 class FmaEngine:
@@ -29,9 +34,13 @@ class FmaEngine:
         self.params = params
         self._inject = InjectEngine(engine, params, name=f"fma:{name}")
         self.engine = engine
+        #: optional fault injector (transient engine stalls)
+        self.faults: Optional["FaultInjector"] = None
 
     def plan(self, nbytes: int, extra_delay: float = 0.0,
              not_before: float | None = None) -> TransferPlan:
+        if self.faults is not None:
+            extra_delay += self.faults.nic_stall("fma", self.engine.now)
         start, end = self._inject.inject(nbytes, not_before=not_before)
         # The CPU drives the injection: busy from now until injection ends.
         cpu_busy = max(end - self.engine.now, 0.0)
@@ -54,9 +63,13 @@ class BteEngine:
         self.params = params
         self._inject = InjectEngine(engine, params, name=f"bte:{name}")
         self.engine = engine
+        #: optional fault injector (transient engine stalls)
+        self.faults: Optional["FaultInjector"] = None
 
     def plan(self, nbytes: int, extra_delay: float = 0.0,
              not_before: float | None = None) -> TransferPlan:
+        if self.faults is not None:
+            extra_delay += self.faults.nic_stall("bte", self.engine.now)
         # CPU posts a descriptor and is immediately free again.
         start, end = self._inject.inject(nbytes, not_before=not_before)
         commit = end + self.params.L + extra_delay

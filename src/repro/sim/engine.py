@@ -75,6 +75,9 @@ class Event:
         """Trigger the event successfully with ``value`` after ``delay``."""
         if self.triggered:
             raise SimulationError(f"event {self!r} already triggered")
+        if delay < 0:
+            raise SimulationError(
+                f"negative delay {delay} in succeed of {self!r}")
         self._value = value
         self._state = Event.TRIGGERED
         self.engine._schedule(self, delay, priority)
@@ -85,6 +88,9 @@ class Event:
         """Trigger the event as failed; waiters get ``exc`` thrown in."""
         if self.triggered:
             raise SimulationError(f"event {self!r} already triggered")
+        if delay < 0:
+            raise SimulationError(
+                f"negative delay {delay} in fail of {self!r}")
         if not isinstance(exc, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._exc = exc
@@ -202,7 +208,13 @@ class Process(Event):
             self.engine._active_process = None
 
         if not isinstance(target, Event):
-            self._gen.throw(SimulationError(
+            # Re-enter through the normal step machinery: if the generator
+            # catches the error and yields a real event it keeps running;
+            # if the error (or anything else) escapes, the crash path
+            # unregisters the process and fails its event, instead of the
+            # yielded-value discard that used to strand the process and
+            # surface later as a spurious DeadlockError.
+            self._step(throw=SimulationError(
                 f"process {self.name!r} yielded non-event {target!r}"))
             return
         if target.processed:
@@ -251,6 +263,11 @@ class Engine:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        if delay < 0:
+            # Fail at the scheduling site: a "time went backwards" at some
+            # later step() points nowhere near the culprit.
+            raise SimulationError(
+                f"negative schedule delay {delay} for {event!r}")
         heapq.heappush(self._heap,
                        (self.now + delay, priority, next(self._seq), event))
 

@@ -30,7 +30,8 @@ class Resource:
 
     def __init__(self, engine: Engine, capacity: int = 1, name: str = ""):
         if capacity < 1:
-            raise SimulationError(f"resource capacity must be >=1, got {capacity}")
+            raise SimulationError(
+                f"resource capacity must be >=1, got {capacity}")
         self.engine = engine
         self.capacity = capacity
         self.name = name

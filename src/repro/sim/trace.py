@@ -42,11 +42,15 @@ class Tracer:
         self.records: list[TraceRecord] = []
         self.counters: Counter[str] = Counter()
         self.bytes_by_kind: Counter[str] = Counter()
+        #: injected-fault events by fault type ("drop", "dup", "stall", ...)
+        self.faults: Counter[str] = Counter()
 
     def emit(self, time: float, kind: str, src: int, dst: int,
              nbytes: int = 0, **detail: Any) -> None:
         self.counters[kind] += 1
         self.bytes_by_kind[kind] += nbytes
+        if kind == "fault":
+            self.faults[detail.get("fault", "unknown")] += 1
         if self.enabled:
             self.records.append(
                 TraceRecord(time, kind, src, dst, nbytes, detail))
@@ -71,7 +75,16 @@ class Tracer:
         self.records.clear()
         self.counters.clear()
         self.bytes_by_kind.clear()
+        self.faults.clear()
 
     def wire_transactions(self) -> int:
         """Total wire-level transactions (the unit Figure 2 counts)."""
         return self.counters["wire"]
+
+    def fault_events(self) -> int:
+        """Total injected-fault events (drops, dups, stalls, ...)."""
+        return self.counters["fault"]
+
+    def fault_counts(self) -> dict[str, int]:
+        """Injected-fault events broken down by fault type."""
+        return dict(self.faults)

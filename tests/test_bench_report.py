@@ -48,3 +48,20 @@ def test_experiment_registry_complete():
     for eid in ("fig1", "fig2", "fig3a", "fig3b", "fig3c", "fig4a",
                 "fig4b", "fig4c", "fig5", "table1", "sec5"):
         assert eid in ALL_EXPERIMENTS
+
+
+def test_fault_table_renders_counters_and_defaults():
+    from repro.bench.report import fault_table
+
+    rows = [
+        {"mode": "na", "drop_prob": 0.0, "half_rtt_us": 1.4},
+        {"mode": "na", "drop_prob": 0.1, "half_rtt_us": 2.2,
+         "faults": {"drops": 5, "retries": 5, "duplicates": 1,
+                    "dup_suppressed": 1, "lost_ops": 0, "delays": 3}},
+    ]
+    t = fault_table(rows, title="loss sweep")
+    assert t.columns[:3] == ["mode", "drop_prob", "half_rtt_us"]
+    assert t.column("drops") == [0, 5]       # fault-free row padded with 0
+    assert t.column("retries") == [0, 5]
+    assert t.column("dup_suppressed") == [0, 1]
+    assert "loss sweep" in str(t)

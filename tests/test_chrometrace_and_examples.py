@@ -2,7 +2,6 @@
 
 import json
 import runpy
-import sys
 from pathlib import Path
 
 import numpy as np

@@ -176,3 +176,99 @@ def test_counted_put_moves_data():
 
     results, _ = run_cluster(2, prog)
     assert results == ["sent", "ok"]
+
+
+def test_duplicate_delivery_does_not_double_increment():
+    """Forced duplication must leave completion counters exactly-once: the
+    NIC dedup path filters the replayed commit before it can touch the
+    counter cell or re-post the notification."""
+    from repro.faults import FaultPlan
+
+    n_puts = 4
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(256)
+        if ctx.rank == 1:
+            req = yield from ctx.counters.counter_init(
+                win, source=0, tag=3, expected_count=n_puts)
+            yield from ctx.counters.start(req)
+            yield from ctx.barrier()
+            st = yield from ctx.counters.wait(req)
+            assert (st.source, st.tag) == (0, 3)
+            # settle: give any straggling duplicate time to arrive
+            yield from ctx.compute(100.0)
+            return req.cell.increments
+        yield from ctx.barrier()
+        for i in range(n_puts):
+            yield from ctx.counters.put_counted(win, np.full(2, float(i)),
+                                                1, 0, tag=3)
+        yield from win.flush(1)
+        return "sent"
+
+    results, cluster = run_cluster(
+        2, prog, ranks_per_node=1,
+        faults=FaultPlan(dup_prob=1.0, seed=9))
+    assert results == ["sent", n_puts]
+    st = cluster.stats()["faults"]
+    assert st["duplicates"] > 0
+
+
+def test_retried_puts_increment_counter_exactly_once_each():
+    from repro.faults import FaultPlan
+
+    n_puts = 6
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(256)
+        if ctx.rank == 1:
+            req = yield from ctx.counters.counter_init(
+                win, source=0, tag=1, expected_count=n_puts)
+            yield from ctx.counters.start(req)
+            yield from ctx.barrier()
+            yield from ctx.counters.wait(req)
+            yield from ctx.compute(100.0)
+            return req.cell.increments
+        yield from ctx.barrier()
+        for i in range(n_puts):
+            yield from ctx.counters.put_counted(win, np.full(2, float(i)),
+                                                1, 0, tag=1)
+        yield from win.flush(1)
+        return "sent"
+
+    results, cluster = run_cluster(
+        2, prog, ranks_per_node=1,
+        faults=FaultPlan(drop_prob=0.3, seed=21))
+    assert results == ["sent", n_puts]
+    st = cluster.stats()["faults"]
+    assert st["retries"] > 0, "seed produced no drops; pick another"
+    assert st["lost_ops"] == 0
+
+
+def test_abandoned_put_never_increments_counter():
+    """A put the fault layer declares lost (target node dead) must leave
+    the completion counter untouched."""
+    from repro.errors import FaultError
+    from repro.faults import FaultPlan
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(256)
+        if ctx.rank == 1:
+            req = yield from ctx.counters.counter_init(win, source=0, tag=2)
+            yield from ctx.compute(2000.0)     # outlive the failure window
+            return req.cell.increments
+        # wait until rank 1's node is down, then try the put
+        yield from ctx.compute(1000.0)
+        try:
+            yield from ctx.counters.put_counted(win, np.ones(2), 1, 0,
+                                                tag=2)
+            yield from win.flush(1)
+        except FaultError:
+            return "lost"
+        return "delivered"
+
+    results, cluster = run_cluster(
+        2, prog, ranks_per_node=1,
+        faults=FaultPlan(node_failures={1: 500.0}, detect_us=20.0, seed=9),
+        detect_deadlock=False)
+    assert results == ["lost", 0]
+    assert cluster.stats()["faults"]["node_drops"] >= 1

@@ -1,7 +1,6 @@
 """§III's notified-synchronization alternative (flush_notify)."""
 
 import numpy as np
-import pytest
 
 from tests.conftest import run_cluster
 

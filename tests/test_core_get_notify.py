@@ -1,7 +1,6 @@
 """Notified get: consumer-managed buffering and §VIII reliability modes."""
 
 import numpy as np
-import pytest
 
 from repro.network.loggp import TransportParams
 from tests.conftest import run_cluster

@@ -286,3 +286,75 @@ def test_arrival_order_matches_sender_delay_property(perm):
     results, _ = run_cluster(5, prog)
     expected = [r for r, _ in sorted(delays.items(), key=lambda kv: kv[1])]
     assert results[0] == expected
+
+
+class _StubRequest:
+    """Minimal request double for direct UnexpectedQueue tests."""
+
+    def __init__(self, win_id, source, tag):
+        self.win_id, self.source, self.tag = win_id, source, tag
+
+    def matches(self, win_id, source, tag):
+        if win_id != self.win_id:
+            return False
+        if self.source != ANY_SOURCE and self.source != source:
+            return False
+        if self.tag != ANY_TAG and self.tag != tag:
+            return False
+        return True
+
+
+def _make_uq(slots):
+    from repro.core.matching import UnexpectedQueue
+    from repro.memory.address import AddressSpace
+    from repro.memory.cache import CACHE_LINE, CacheModel
+
+    space = AddressSpace(0, 1 << 16)
+    region = space.alloc(slots * CACHE_LINE, align=CACHE_LINE)
+    return UnexpectedQueue(region, CacheModel(), slots=slots)
+
+
+def test_uq_slot_reuse_after_out_of_order_removal():
+    """Slots freed by out-of-order matches must be reused before any slot
+    still holding a live entry.
+
+    Regression: the seed code advanced a rotating cursor on every append,
+    independent of removals, so after ``slots`` appends it wrapped onto
+    slots whose entries were still queued and aliased their addresses.
+    """
+    uq = _make_uq(4)
+    for tag in range(4):
+        uq.append(win_id=1, source=0, tag=tag, nbytes=8, time=float(tag))
+    # Match away tags 2 and 3 — the *newest* entries, so the queue's
+    # occupied slots are 0 and 1 while 2 and 3 are free.
+    assert uq.find_and_remove(_StubRequest(1, 0, 2)) is not None
+    assert uq.find_and_remove(_StubRequest(1, 0, 3)) is not None
+    # Two fresh notifications must land in the freed slots, not on top
+    # of the live tag-0/tag-1 entries.
+    uq.append(win_id=1, source=0, tag=10, nbytes=8, time=4.0)
+    uq.append(win_id=1, source=0, tag=11, nbytes=8, time=5.0)
+    addrs = [e.slot_addr for e in uq._entries]
+    assert len(addrs) == len(set(addrs)), (
+        f"slot addresses alias live entries: {addrs}")
+    # And each surviving entry still matches at its own address.
+    for tag in (0, 1, 10, 11):
+        entry = uq.find_and_remove(_StubRequest(1, 0, tag))
+        assert entry is not None and entry.tag == tag
+
+
+def test_uq_capacity_stable_under_churn():
+    """Appending and matching repeatedly must never overflow a queue whose
+    live population stays below capacity (the cursor bug also made slot
+    accounting drift from the real occupancy)."""
+    uq = _make_uq(4)
+    for round_ in range(10):
+        uq.append(win_id=1, source=0, tag=round_, nbytes=8, time=0.0)
+        uq.append(win_id=1, source=0, tag=100 + round_, nbytes=8, time=0.0)
+        assert uq.find_and_remove(_StubRequest(1, 0, 100 + round_))
+        assert uq.find_and_remove(_StubRequest(1, 0, round_))
+    assert len(uq) == 0
+    # All slots free again: fill to capacity exactly once more.
+    for tag in range(4):
+        uq.append(win_id=1, source=0, tag=tag, nbytes=8, time=0.0)
+    with pytest.raises(MatchingError):
+        uq.append(win_id=1, source=0, tag=99, nbytes=8, time=0.0)

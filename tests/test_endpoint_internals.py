@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import MatchingError, SimulationError
-from repro.mpi.endpoint import BOUNCE_BYTES, MpiEndpoint, _Unexpected
+from repro.mpi.endpoint import BOUNCE_BYTES, _Unexpected
 from repro.network.fabric import SysPacket
 from tests.conftest import run_cluster
 

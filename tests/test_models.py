@@ -1,6 +1,5 @@
 """Simulator vs closed-form LogGP model agreement, and calibration fits."""
 
-import numpy as np
 import pytest
 
 from repro.apps.pingpong import run_pingpong

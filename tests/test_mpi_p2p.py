@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.errors import MatchingError
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL
 from tests.conftest import run_cluster
 

@@ -1,6 +1,5 @@
 """Dragonfly grouping: placement and inter-group latency pricing."""
 
-import numpy as np
 import pytest
 
 from repro.apps.pingpong import run_pingpong

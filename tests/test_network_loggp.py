@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.network.loggp import LogGPParams, TransportParams, default_params
+from repro.network.loggp import LogGPParams, default_params
 
 
 def test_defaults_match_paper_table1():

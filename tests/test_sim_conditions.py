@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.engine import Engine
 
 
 def test_all_of_waits_for_all(engine):

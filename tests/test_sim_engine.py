@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DeadlockError, SimulationError
-from repro.sim.engine import Engine, Event, Interrupt, Timeout
+from repro.sim.engine import Engine, Interrupt
 
 
 def test_time_starts_at_zero(engine):
@@ -286,3 +286,81 @@ def test_determinism_two_identical_runs():
         return log
 
     assert build() == build()
+
+
+def test_yield_non_event_recoverable_by_catching(engine):
+    """A process may catch the SimulationError thrown for a bogus yield
+    and continue with a valid one.
+
+    Regression: the engine used to call ``gen.throw`` and discard the
+    generator's next yield, so a recovering process was never rescheduled
+    and the run ended in a spurious DeadlockError.
+    """
+    def sloppy(e):
+        try:
+            yield "not an event"
+        except SimulationError:
+            pass
+        yield e.timeout(1.0)
+        return "recovered"
+
+    p = engine.process(sloppy(engine))
+    engine.run()
+    assert p.value == "recovered"
+    assert engine.now == 1.0
+
+
+def test_yield_non_event_uncaught_uses_crash_path(engine):
+    """An unhandled bogus-yield error goes through the normal crash
+    machinery (named process, chained cause), not an ad-hoc raise."""
+    def bad(e):
+        yield 42
+
+    engine.process(bad(engine), name="bogus")
+    with pytest.raises(SimulationError) as ei:
+        engine.run()
+    assert "bogus" in str(ei.value)
+    assert "crashed" in str(ei.value)
+    assert isinstance(ei.value.__cause__, SimulationError)
+    assert "non-event" in str(ei.value.__cause__)
+
+
+def test_yield_non_event_crash_observed_by_waiter(engine):
+    """A waiter on a process that dies from a bogus yield sees the error
+    like any other crash instead of the whole run aborting."""
+    def bad(e):
+        yield e.timeout(1.0)
+        yield object()
+
+    def guard(e, proc):
+        try:
+            yield proc
+        except SimulationError:
+            return "handled"
+
+    bp = engine.process(bad(engine))
+    gp = engine.process(guard(engine, bp))
+    engine.run()
+    assert gp.value == "handled"
+
+
+def test_negative_delay_in_succeed_rejected(engine):
+    ev = engine.event()
+    with pytest.raises(SimulationError):
+        ev.succeed(None, delay=-1.0)
+    # the event must not be left half-triggered by the failed call
+    assert not ev.triggered
+    ev.succeed(None)
+    assert ev.triggered
+
+
+def test_negative_delay_in_fail_rejected(engine):
+    ev = engine.event()
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("x"), delay=-0.5)
+    assert not ev.triggered
+
+
+def test_negative_schedule_delay_rejected(engine):
+    with pytest.raises(SimulationError):
+        engine.timeout(-2.0)

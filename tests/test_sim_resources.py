@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import Engine
 from repro.sim.resources import Gate, Resource, Signal, Store
 
 

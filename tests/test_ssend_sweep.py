@@ -1,7 +1,6 @@
 """Synchronous sends and the sweep helper."""
 
 import numpy as np
-import pytest
 
 from repro.bench.report import sweep
 from tests.conftest import run_cluster
