@@ -49,7 +49,8 @@ def _queueing() -> float:
         yield from ctx.barrier()
         for i in range(MSGS_EACH):
             yield ctx.timeout(_producer_delay(ctx, i))
-            yield from ctx.na.put_notify(win, np.zeros(1), 0, 0, tag=i)
+            disp = ((ctx.rank - 1) * MSGS_EACH + i) * 8   # disjoint slots
+            yield from ctx.na.put_notify(win, np.zeros(1), 0, disp, tag=i)
         return None
 
     results, _ = run_ranks(NPRODUCERS + 1, prog)
@@ -78,7 +79,7 @@ def _overwriting() -> float:
         for i in range(MSGS_EACH):
             yield ctx.timeout(_producer_delay(ctx, i))
             slot = (ctx.rank - 1) * MSGS_EACH + i
-            yield from ctx.gaspi.write_notify(win, np.zeros(1), 0, 0,
+            yield from ctx.gaspi.write_notify(win, np.zeros(1), 0, slot * 8,
                                               slot=slot, value=i + 1)
         return None
 
@@ -109,7 +110,8 @@ def _counting() -> float:
         yield from ctx.barrier()
         for i in range(MSGS_EACH):
             yield ctx.timeout(_producer_delay(ctx, i))
-            yield from ctx.counters.put_counted(win, np.zeros(1), 0, 0,
+            disp = ((ctx.rank - 1) * MSGS_EACH + i) * 8   # disjoint slots
+            yield from ctx.counters.put_counted(win, np.zeros(1), 0, disp,
                                                 tag=ctx.rank)
         return None
 

@@ -24,20 +24,37 @@ def program(ctx):
 
     if ctx.rank == 0:
         # ---- consumer: pulls from whoever it likes, owns all buffering ----
+        # A producer's tiny notified put says "round r is published"; only
+        # then may the consumer pull, or the get could read a buffer that
+        # is still being (re)filled.
+        ready = []
+        for p in range(1, NPRODUCERS + 1):
+            r = yield from ctx.na.notify_init(win, source=p)
+            ready.append(r)
         sums = []
         buf = ctx.alloc(N * 8)
         for round_no in range(ITEMS):
             for producer in range(1, NPRODUCERS + 1):
+                yield from ctx.na.start(ready[producer - 1])
+                st = yield from ctx.na.wait(ready[producer - 1])
+                assert st.tag == round_no
                 yield from ctx.na.get_notify(win, buf, producer, 0,
                                              nbytes=N * 8, tag=round_no)
                 yield from win.flush(producer)
                 sums.append(float(buf.ndarray(np.float64).sum()))
+        for p in range(1, NPRODUCERS + 1):
+            yield from ctx.na.request_free(ready[p - 1])
         return sums
 
-    # ---- producers: publish, then wait for the 'buffer consumed' signal --
+    # ---- producers: publish, announce, wait for 'buffer consumed' --------
     req = yield from ctx.na.notify_init(win, source=0)
     for round_no in range(ITEMS):
         win.local(np.float64)[:] = ctx.rank * 100 + round_no
+        # Announce the publication (8 bytes into the consumer's slot for
+        # this producer), then wait for the notified get's 'was read'.
+        yield from ctx.na.put_notify(win, np.zeros(1), 0,
+                                     (ctx.rank - 1) * 8, tag=round_no)
+        yield from win.flush_local(0)
         yield from ctx.na.start(req)
         status = yield from ctx.na.wait(req)       # buffer was read
         assert status.tag == round_no

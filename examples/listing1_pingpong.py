@@ -21,7 +21,9 @@ def program(ctx):
     # MPI_Win_allocate(win_size, sizeof(double), ..., &buf, &win);
     win_size = 2 * MAX_SIZE * 8
     win = yield from fompi.Win_allocate(ctx, win_size, disp_unit=8)
-    buf = win.local(np.float64)
+    # The C listing's &buf is a pointer, not an access: take an unrecorded
+    # view; the notified puts/waits carry all the synchronization.
+    buf = win.local(np.float64, mode="raw")
     my_rank = ctx.rank
     partner_rank = SERVER_RANK if my_rank == CLIENT_RANK else CLIENT_RANK
 

@@ -41,7 +41,8 @@ def queueing(ctx):
     yield from ctx.barrier()
     for i in range(MSGS):
         yield ctx.timeout(_delay(ctx.rank, i))
-        yield from ctx.na.put_notify(win, np.zeros(1), 0, 0, tag=i)
+        disp = ((ctx.rank - 1) * MSGS + i) * 8     # disjoint payload slots
+        yield from ctx.na.put_notify(win, np.zeros(1), 0, disp, tag=i)
     return None
 
 
@@ -60,7 +61,7 @@ def overwriting(ctx):
     for i in range(MSGS):
         yield ctx.timeout(_delay(ctx.rank, i))
         slot = (ctx.rank - 1) * MSGS + i           # private registers!
-        yield from ctx.gaspi.write_notify(win, np.zeros(1), 0, 0,
+        yield from ctx.gaspi.write_notify(win, np.zeros(1), 0, slot * 8,
                                           slot=slot, value=i + 1)
     return None
 
@@ -82,7 +83,8 @@ def counting(ctx):
     yield from ctx.barrier()
     for i in range(MSGS):
         yield ctx.timeout(_delay(ctx.rank, i))
-        yield from ctx.counters.put_counted(win, np.zeros(1), 0, 0,
+        disp = ((ctx.rank - 1) * MSGS + i) * 8     # disjoint payload slots
+        yield from ctx.counters.put_counted(win, np.zeros(1), 0, disp,
                                             tag=ctx.rank)
     return None
 

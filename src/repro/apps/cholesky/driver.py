@@ -106,18 +106,22 @@ def _cholesky_program(ctx, mode: str, ntiles: int, b: int, verify: bool,
             tid = st.tag
             view = win.local(np.float64,
                              offset=tid * tile_bytes,
-                             count=b * b).reshape(b, b)
+                             count=b * b, mode="r").reshape(b, b)
             data = view.copy() if verify else scratch
         else:  # onesided: poll the notification ring
-            ring = notif_win.local(np.int64)
+            # The ring is polled by design (the paper's excerpt); the view
+            # is unrecorded ("raw") and the ordering edge is declared to
+            # the sanitizer once the poll observes the producer's value.
+            ring = notif_win.local(np.int64, mode="raw")
             while ring[1 + ring_next] == 0:
                 yield ctx.timeout(POLL_US)
+            ctx.san_acquire_at(notif_win, 8 * (1 + ring_next))
             tid = int(ring[1 + ring_next]) - 1
             ring_next += 1
             i, k = _tile_coords(tid, ntiles)
             view = win.local(np.float64,
                              offset=tid * tile_bytes,
-                             count=b * b).reshape(b, b)
+                             count=b * b, mode="r").reshape(b, b)
             data = view.copy() if verify else scratch
         panel_store[(i, k)] = data if verify else zeros
         received_count[k] += 1

@@ -116,16 +116,23 @@ def _halo2d_program(ctx, mode: str, g: int, iters: int, verify: bool):
         return out
 
     def install_halos(parity: int):
-        """Copy received slots into the halo ring."""
-        slots = win.local(np.float64).reshape(2, 4, halo_len)
+        """Copy received slots into the halo ring.
+
+        The view covers only this parity's half of the window: the other
+        parity's slots may still be receiving the neighbours' next-iteration
+        halos (that's the point of double buffering).
+        """
+        slots = win.local(np.float64, offset=parity * 4 * slot_bytes,
+                          count=4 * halo_len,
+                          mode="r").reshape(4, halo_len)
         if north is not None:
-            a[0, 1:-1] = slots[parity, 0, :lc]
+            a[0, 1:-1] = slots[0, :lc]
         if south is not None:
-            a[-1, 1:-1] = slots[parity, 1, :lc]
+            a[-1, 1:-1] = slots[1, :lc]
         if west is not None:
-            a[1:-1, 0] = slots[parity, 2, :lr]
+            a[1:-1, 0] = slots[2, :lr]
         if east is not None:
-            a[1:-1, -1] = slots[parity, 3, :lr]
+            a[1:-1, -1] = slots[3, :lr]
 
     compute_us = lr * lc * JACOBI_FLOPS / ctx.cluster.cfg.flops_per_us
 

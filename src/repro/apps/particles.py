@@ -156,9 +156,13 @@ def _particles_program(ctx, mode: str, per_rank: int, steps: int,
             req = step_reqs[parity]
             yield from ctx.na.start(req)
             yield from ctx.na.wait(req)
-            slots = win.local(np.float64).reshape(4, slot_doubles)
+            # View only this parity's pair of slots: the other parity's
+            # slots may already be receiving next-step batches.
+            slots = win.local(
+                np.float64, offset=parity * 2 * slot_doubles * 8,
+                count=2 * slot_doubles, mode="r").reshape(2, slot_doubles)
             for side in range(2):
-                row = slots[parity * 2 + side]
+                row = slots[side]
                 cnt = int(row[0])
                 if cnt:
                     pos = np.concatenate([pos, row[1:1 + cnt]])

@@ -210,10 +210,12 @@ def _raw_program(ctx, size_bytes: int, iters: int):
             pong = yield from mailboxes[ctx.rank].get()
             if ctx.now < pong.commit_at:
                 yield ctx.timeout(pong.commit_at - ctx.now)
+            ctx.san_acquire(pong)
         else:
             ping = yield from mailboxes[ctx.rank].get()
             if ctx.now < ping.commit_at:
                 yield ctx.timeout(ping.commit_at - ctx.now)
+            ctx.san_acquire(ping)
             h = yield from win.put(data, partner, size_bytes)
             mailboxes[partner].put(h)
     dt = (ctx.now - t0) / (2 * iters)

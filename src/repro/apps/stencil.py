@@ -154,11 +154,14 @@ def _stencil_program(ctx, mode: str, rows: int, cols: int, iters: int,
                             raise ReproError(
                                 f"halo row mismatch: got tag {st.tag} "
                                 f"for row {i}")
-                        left_val = float(win.local(np.float64)[i])
+                        left_val = float(win.local(np.float64, offset=i * 8,
+                                                   count=1, mode="r")[0])
                     elif mode == "pscw":
                         yield from win.post([left])
                         yield from win.wait([left])
-                        left_val = float(win.local(np.float64)[slot])
+                        left_val = float(win.local(np.float64,
+                                                   offset=slot * 8,
+                                                   count=1, mode="r")[0])
                 # 2. compute the row segment
                 yield from ctx.compute(row_compute_us)
                 out_val = compute_row(i, left_val)
@@ -185,7 +188,9 @@ def _stencil_program(ctx, mode: str, rows: int, cols: int, iters: int,
                 i = t - rank + 1
                 if 1 <= i < rows:
                     slot = i % 2
-                    left_val = (float(win.local(np.float64)[slot])
+                    left_val = (float(win.local(np.float64,
+                                                offset=slot * 8,
+                                                count=1, mode="r")[0])
                                 if left is not None else 0.0)
                     yield from ctx.compute(row_compute_us)
                     out_val = compute_row(i, left_val)

@@ -378,9 +378,12 @@ def fig2_transactions() -> Table:
                                 8 * (1 + dest))
             yield from nwin.flush_local(1)
         else:
-            ring = nwin.local(np.int64)
+            # Polled flag: unrecorded view, with the ordering edge declared
+            # once the poll observes the producer's flag write.
+            ring = nwin.local(np.int64, mode="raw")
             while ring[1] == 0:
                 yield ctx.timeout(0.3)
+            ctx.san_acquire_at(nwin, 8)
         yield ctx.timeout(50)
         ctx.cluster._audit_count = count_since(ctx, mark)
         yield from win.unlock_all()

@@ -20,13 +20,14 @@ per rank, and runs *rank programs* — generator functions of one
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional, Sequence
 
 from repro.core.counters import CounterEngine
 from repro.core.overwriting import OverwriteEngine
 from repro.core.engine import NotifyEngine
-from repro.errors import SimulationError
+from repro.errors import RaceError, SimulationError
 from repro.faults import FaultPlan
 from repro.memory.address import AddressSpace, DEFAULT_SPACE
 from repro.memory.cache import CacheModel
@@ -60,6 +61,12 @@ class ClusterConfig:
     detect_deadlock: bool = True
     #: optional fault-injection plan (None = perfectly reliable fabric)
     faults: Optional[FaultPlan] = None
+    #: happens-before race detection (see ``repro.sanitizer``).  Off by
+    #: default: the tracker adds no events, so schedules and golden values
+    #: are identical either way, but shadow bookkeeping costs CPU time.
+    #: The ``REPRO_SANITIZE=1`` environment variable (set by
+    #: ``pytest --sanitize``) force-enables it.
+    sanitize: bool = False
 
 
 class Rank:
@@ -114,6 +121,33 @@ class Rank:
     def barrier(self):
         yield from self.comm.barrier()
 
+    # -- sanitizer annotations (no-ops when sanitize is off) ------------
+    def san_acquire(self, handle) -> None:
+        """Declare this rank ordered after ``handle``'s completed op.
+
+        For code that synchronizes out-of-band (e.g. the raw ping-pong
+        that sleeps until a put's known commit time) where no
+        notification/flush edge exists for the sanitizer to see.
+        """
+        san = self.cluster.sanitizer
+        if san is not None:
+            san.acquire_op(self.rank, getattr(handle, "san_remote", None))
+            san.acquire_op(self.rank, getattr(handle, "san_local", None))
+
+    def san_acquire_at(self, win, offset: int = 0) -> None:
+        """Declare this rank ordered after the last op committed at a
+        polled local address (ring/flag protocols: call right after the
+        poll observes the value).  ``win`` is a Window (``offset`` is then
+        window-relative, past the header) or a raw Region."""
+        san = self.cluster.sanitizer
+        if san is not None:
+            shared = getattr(win, "shared", None)
+            if shared is not None:
+                addr = shared.bases[self.rank] + offset
+            else:
+                addr = win.addr + offset
+            san.acquire_loc(self.rank, self.rank, addr)
+
 
 class Cluster:
     """A simulated machine plus the full communication stack."""
@@ -128,11 +162,21 @@ class Cluster:
         self.machine = Machine(config.nranks, config.ranks_per_node,
                                nodes_per_group=config.nodes_per_group)
         self.tracer = Tracer(enabled=config.trace)
+        self.sanitizer = None
+        if config.sanitize or os.environ.get("REPRO_SANITIZE") == "1":
+            from repro.sanitizer import Sanitizer
+            self.sanitizer = Sanitizer(self.engine, config.nranks,
+                                       tracer=self.tracer)
         self.spaces = [AddressSpace(r, config.space_bytes)
                        for r in range(config.nranks)]
+        if self.sanitizer is not None:
+            for sp in self.spaces:
+                sp.san = self.sanitizer
+                sp.poison_on_free = True
         self.fabric = Fabric(self.engine, self.machine, self.spaces,
                              params=config.params, tracer=self.tracer,
-                             seed=config.seed, fault_plan=config.faults)
+                             seed=config.seed, fault_plan=config.faults,
+                             sanitizer=self.sanitizer)
         self.win_registry = WindowRegistry(config.nranks)
         self.ranks = [Rank(self, r) for r in range(config.nranks)]
         endpoints = []
@@ -184,8 +228,16 @@ class Cluster:
         for ctx, prog in zip(self.ranks, programs):
             procs.append(self.engine.process(prog(ctx, *args),
                                              name=f"rank{ctx.rank}"))
-        self.engine.run(until=until,
-                        detect_deadlock=self.cfg.detect_deadlock)
+        try:
+            self.engine.run(until=until,
+                            detect_deadlock=self.cfg.detect_deadlock)
+        except SimulationError as exc:
+            # A race detected inside a rank program surfaces as a process
+            # crash; re-raise the RaceError itself so callers (and pytest
+            # ``raises`` blocks) see the diagnosis, not the wrapper.
+            if isinstance(exc.__cause__, RaceError):
+                raise exc.__cause__
+            raise
         return [p.value if p.triggered else None for p in procs]
 
     # ------------------------------------------------------------------
@@ -217,6 +269,8 @@ class Cluster:
             out["faults"] = self.fabric.faults.stats()
             out["faults"]["dup_suppressed_nic"] = sum(
                 c.nic.dup_suppressed for c in self.ranks)
+        if self.sanitizer is not None:
+            out["sanitizer"] = {"races": self.sanitizer.races}
         return out
 
 

@@ -40,7 +40,8 @@ T_COUNTER_TEST = 0.01
 class CounterCell:
     """An 8-byte completion counter living in a rank's address space."""
 
-    __slots__ = ("region", "addr", "space", "signal", "increments")
+    __slots__ = ("region", "addr", "space", "signal", "increments",
+                 "clocks")
 
     def __init__(self, ctx):
         self.region = ctx.space.alloc(8, align=64)
@@ -49,6 +50,8 @@ class CounterCell:
         from repro.sim.resources import Signal
         self.signal = Signal(ctx.engine, name=f"ctr:{ctx.rank}")
         self.increments = 0
+        #: per-increment sanitizer clock of the committing put (or None)
+        self.clocks: list = []
         self._store(0)
 
     def _store(self, value: int) -> None:
@@ -59,10 +62,11 @@ class CounterCell:
         return int(self.space.mem[self.addr:self.addr + 8].view(
             np.int64)[0])
 
-    def increment(self, nbytes: int) -> None:
+    def increment(self, nbytes: int, san_clock=None) -> None:
         """Called by the fabric at commit time (the NIC-side update)."""
         self._store(self.value + 1)
         self.increments += 1
+        self.clocks.append(san_clock)
         self.signal.fire(nbytes)
 
     def free(self) -> None:
@@ -161,6 +165,13 @@ class CounterEngine:
         while True:
             done = yield from self.test(req)
             if done:
+                san = getattr(self.ctx.cluster, "sanitizer", None)
+                if san is not None:
+                    # Acquire exactly the increments this wait consumes:
+                    # the counter proves those commits, nothing more.
+                    lo = req.consumed
+                    san.acquire_many(self.rank,
+                                     req.cell.clocks[lo:lo + req.expected])
                 req.consumed += req.expected
                 req.active = False   # satisfied; start() re-arms it
                 return Status(source=req.source, tag=req.tag)
@@ -197,8 +208,11 @@ class CounterEngine:
         # NIC-side counter update at commit time.  A transfer the fault
         # layer declared lost never commits, so its counter never moves.
         if not h.failed:
-            self.ctx.fabric._at(h.commit_at,
-                                lambda: cell.increment(nbytes))
+            self.ctx.fabric._at(
+                h.commit_at,
+                lambda: cell.increment(
+                    nbytes,
+                    None if h.san_remote is None else h.san_remote.vc))
         if h.cpu_busy:
             yield self.engine.timeout(h.cpu_busy)
         return h

@@ -51,6 +51,7 @@ class NotifyEngine:
         self.uq = UnexpectedQueue(uq_region, ctx.cache)
         self.live_requests = 0
         self.notified_ops = 0
+        self._san = getattr(ctx.cluster, "sanitizer", None)
         # The matching-path constants are calibrated so a single matched
         # test costs the paper's o_r with the default parameters; o_recv
         # scales the whole path for other platforms (e.g. the NoC preset).
@@ -188,6 +189,10 @@ class NotifyEngine:
             req.matched += 1
             req.last_status = Status(source=entry.source, tag=entry.tag,
                                      count=entry.nbytes)
+            if self._san is not None:
+                # Matching a notification is the acquire side of the
+                # notified access: the consumer is now ordered after it.
+                self._san.acquire_op(self.rank, entry.san)
             cost += T_MATCH * self._scale
         cost += scanned_before * T_SCAN * self._scale
         # 3. Poll the hardware destination queues for new notifications.
@@ -203,10 +208,12 @@ class NotifyEngine:
                 req.matched += 1
                 req.last_status = Status(source=source, tag=tag,
                                          count=cqe.nbytes)
+                if self._san is not None:
+                    self._san.acquire_op(self.rank, cqe.san)
                 cost += T_MATCH * self._scale
             else:
                 self.uq.append(cqe.win_id, source, tag, cqe.nbytes,
-                               cqe.time)
+                               cqe.time, san=cqe.san)
                 cost += T_APPEND * self._scale
         yield self.engine.timeout(cost)
         if req.completed:
@@ -239,12 +246,15 @@ class NotifyEngine:
             if cqe is None:
                 break
             s, t = decode_immediate(cqe.immediate)
-            self.uq.append(cqe.win_id, s, t, cqe.nbytes, cqe.time)
+            self.uq.append(cqe.win_id, s, t, cqe.nbytes, cqe.time,
+                           san=cqe.san)
             cost += (T_POLL + T_APPEND) * self._scale
         yield self.engine.timeout(cost)
         entry = self.uq.peek_match(win.id, source, tag)
         if entry is None:
             return None
+        if self._san is not None:
+            self._san.acquire_op(self.rank, entry.san)
         return Status(source=entry.source, tag=entry.tag,
                       count=entry.nbytes)
 

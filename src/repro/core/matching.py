@@ -34,6 +34,8 @@ class UqEntry:
     nbytes: int
     time: float
     slot_addr: int
+    #: originating op's sanitizer clock (carried from the CQ entry)
+    san: object = None
 
 
 class UnexpectedQueue:
@@ -67,13 +69,14 @@ class UnexpectedQueue:
         return self.region.addr
 
     def append(self, win_id: int, source: int, tag: int, nbytes: int,
-               time: float) -> UqEntry:
+               time: float, san: object = None) -> UqEntry:
         if not self._free_slots:
             raise MatchingError(
                 f"unexpected queue overflow ({self.slots} slots)")
         slot = heapq.heappop(self._free_slots)
         slot_addr = self.region.addr + slot * CACHE_LINE
-        entry = UqEntry(win_id, source, tag, nbytes, time, slot_addr)
+        entry = UqEntry(win_id, source, tag, nbytes, time, slot_addr,
+                        san=san)
         self._entries.append(entry)
         self.appended += 1
         self.cache.touch(slot_addr, CACHE_LINE, label="na-uq-append")

@@ -44,19 +44,27 @@ class NotificationSpace:
         self.ctx = ctx
         self.num = num
         self.region = ctx.space.alloc(num * 8, align=64)
+        # The registers *are* the synchronization primitive: they are
+        # polled by design, so the sanitizer tracks them via per-slot
+        # clocks instead of shadow accesses.
+        self.region.san_ignore = True
         self.region.ndarray(np.int64)[:] = 0
         self.signal = Signal(ctx.engine, name=f"gaspi:{ctx.rank}")
         self.overwrites = 0           # lost updates observed at delivery
+        #: clock of the write last delivered into each register —
+        #: overwritten like the value itself (the §VII lost update)
+        self.slot_clocks: list = [None] * num
 
     def _regs(self) -> np.ndarray:
         return self.region.ndarray(np.int64)
 
-    def deliver(self, slot: int, value: int) -> None:
+    def deliver(self, slot: int, value: int, san_clock=None) -> None:
         """Fabric-side register write (overwrites silently)."""
         regs = self._regs()
         if regs[slot] != 0:
             self.overwrites += 1       # the §VII lost-update hazard
         regs[slot] = value
+        self.slot_clocks[slot] = san_clock
         self.signal.fire(slot)
 
     def free(self) -> None:
@@ -116,6 +124,11 @@ class OverwriteEngine:
                 # semantics — a racing second write is absorbed.
                 value = int(regs[slot])
                 regs[slot] = 0
+                san = getattr(self.ctx.cluster, "sanitizer", None)
+                if san is not None:
+                    # Consuming the register orders the consumer after the
+                    # write that (last) set it.
+                    san.acquire(self.rank, space.slot_clocks[slot])
                 yield self.engine.timeout(T_SLOT_RESET)
                 return slot, value
             # A register may have fired while the scan time was charged;
@@ -150,8 +163,15 @@ class OverwriteEngine:
                                 win_id=win.id)
         win.record_pending(target, h)
         # Register update committed with (after) the data, same transaction.
-        self.ctx.fabric._at(h.commit_at,
-                            lambda: space.deliver(slot, value))
+        # A transfer the fault layer declared lost never commits, so its
+        # register must never fire either (it used to, delivering a
+        # notification for data that never arrived).
+        if not h.failed:
+            self.ctx.fabric._at(
+                h.commit_at,
+                lambda: space.deliver(
+                    slot, value,
+                    None if h.san_remote is None else h.san_remote.vc))
         if h.cpu_busy:
             yield self.engine.timeout(h.cpu_busy)
         return h

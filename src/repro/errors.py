@@ -66,3 +66,20 @@ class FaultError(NetworkError):
 
 class BufferError_(ReproError):
     """A user buffer does not fit the described transfer."""
+
+
+class RaceError(ReproError):
+    """The synchronization sanitizer found two conflicting accesses.
+
+    Two accesses conflict when they touch overlapping bytes of the same
+    address space, at least one writes, and no happens-before path (a chain
+    of notification matches, counter waits, flushes, fences, or message
+    matches) orders one before the other.  ``prev`` and ``cur`` are
+    :class:`repro.sanitizer.shadow.Access` records; the message names both
+    source sites so the missing synchronization edge can be added.
+    """
+
+    def __init__(self, prev, cur, msg: str):
+        super().__init__(msg)
+        self.prev = prev
+        self.cur = cur

@@ -27,13 +27,17 @@ DEFAULT_SPACE = 64 * 1024 * 1024
 class Region:
     """A typed window into an :class:`AddressSpace` allocation."""
 
-    __slots__ = ("space", "addr", "nbytes", "_freed")
+    __slots__ = ("space", "addr", "nbytes", "_freed", "san_ignore")
 
     def __init__(self, space: "AddressSpace", addr: int, nbytes: int):
         self.space = space
         self.addr = addr
         self.nbytes = nbytes
         self._freed = False
+        #: Regions that *are* synchronization primitives (overwriting
+        #: notification registers) are polled by design; the sanitizer
+        #: skips their CPU-side accesses and tracks per-slot clocks instead.
+        self.san_ignore = False
 
     @property
     def end(self) -> int:
@@ -47,18 +51,37 @@ class Region:
                 f"access [{offset}, {offset + nbytes}) outside region of "
                 f"{self.nbytes} bytes")
 
+    def _record(self, offset: int, nbytes: int, write: bool) -> None:
+        san = self.space.san
+        if san is not None and not self.san_ignore:
+            from repro.sanitizer.shadow import READ, WRITE
+            san.cpu_access(self.space.rank, self.addr + offset, nbytes,
+                           WRITE if write else READ)
+
     def ndarray(self, dtype=np.uint8, offset: int = 0,
-                count: Optional[int] = None) -> np.ndarray:
-        """A NumPy view of (part of) the region — writes are visible to RMA."""
+                count: Optional[int] = None,
+                mode: str = "rw") -> np.ndarray:
+        """A NumPy view of (part of) the region — writes are visible to RMA.
+
+        ``mode`` is a sanitizer annotation: ``"rw"`` (default) records the
+        view as a write, ``"r"`` as a read, ``"raw"`` not at all (for
+        deliberately-polled bytes blessed via ``Rank.san_acquire_at``).
+        """
+        if mode not in ("rw", "r", "raw"):
+            raise ValueError(f"mode must be 'rw', 'r', or 'raw', "
+                             f"got {mode!r}")
         itemsize = np.dtype(dtype).itemsize
         if count is None:
             count = (self.nbytes - offset) // itemsize
         self._check(offset, count * itemsize)
+        if mode != "raw":
+            self._record(offset, count * itemsize, write=(mode != "r"))
         start = self.addr + offset
         return self.space.mem[start:start + count * itemsize].view(dtype)
 
     def read(self, offset: int, nbytes: int) -> bytes:
         self._check(offset, nbytes)
+        self._record(offset, nbytes, write=False)
         start = self.addr + offset
         return self.space.mem[start:start + nbytes].tobytes()
 
@@ -67,11 +90,13 @@ class Region:
                if isinstance(data, (bytes, bytearray, memoryview))
                else data.view(np.uint8).ravel())
         self._check(offset, raw.nbytes)
+        self._record(offset, raw.nbytes, write=True)
         start = self.addr + offset
         self.space.mem[start:start + raw.nbytes] = raw
 
     def fill(self, value: int) -> None:
         self._check(0, self.nbytes)
+        self._record(0, self.nbytes, write=True)
         self.space.mem[self.addr:self.end] = value
 
     def free(self) -> None:
@@ -92,6 +117,10 @@ class AddressSpace:
     cache line) because the paper's request structures are assumed aligned.
     """
 
+    #: Byte written over freed allocations when ``poison_on_free`` is set,
+    #: so stale live views read garbage instead of plausible old values.
+    POISON = 0xDB
+
     def __init__(self, rank: int, size: int = DEFAULT_SPACE):
         self.rank = rank
         self.size = size
@@ -99,6 +128,10 @@ class AddressSpace:
         self._holes: list[tuple[int, int]] = [(0, size)]  # sorted by addr
         self.allocated_bytes = 0
         self.peak_bytes = 0
+        #: Sanitizer hook; wired by :class:`repro.cluster.Cluster` when
+        #: ``ClusterConfig.sanitize`` is on, else None (zero overhead).
+        self.san = None
+        self.poison_on_free = False
 
     def alloc(self, nbytes: int, align: int = 64) -> Region:
         """Allocate ``nbytes`` aligned to ``align``; raises AllocationError."""
@@ -145,6 +178,11 @@ class AddressSpace:
                 raise AllocationError("double free or overlapping free")
         self._holes.insert(i, (addr, size))
         self.allocated_bytes -= size
+        if self.poison_on_free:
+            self.mem[addr:addr + size] = self.POISON
+        if self.san is not None and not region.san_ignore:
+            from repro.sanitizer.shadow import WRITE
+            self.san.cpu_access(self.rank, addr, size, WRITE)
         # Coalesce with successor then predecessor.
         if i + 1 < len(self._holes):
             naddr, nsize = self._holes[i + 1]

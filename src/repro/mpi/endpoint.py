@@ -82,6 +82,7 @@ class MpiEndpoint:
         self.bounce_copies = 0
         self.rndv_sends = 0
         self.eager_sends = 0
+        self._san = getattr(ctx.cluster, "sanitizer", None)
 
     # ------------------------------------------------------------------
     # timing helpers
@@ -249,6 +250,11 @@ class MpiEndpoint:
         return handled
 
     def _handle_packet(self, pkt: SysPacket):
+        if self._san is not None:
+            # Receiving any protocol message orders this rank after the
+            # sender's released clock (send/recv match, PSCW control,
+            # collectives built on them).
+            self._san.acquire(self.rank, pkt.san_clock)
         if pkt.ptype == "eager":
             yield from self._on_eager(pkt)
         elif pkt.ptype == "rts":
@@ -325,6 +331,10 @@ class MpiEndpoint:
         if sreq is None:
             raise MatchingError(
                 f"CTS for unknown send id {pkt.payload['send_id']}")
+        if self._san is not None:
+            # Also reached via the async-progress hook, which bypasses
+            # _handle_packet; acquiring twice is idempotent.
+            self._san.acquire(self.rank, pkt.san_clock)
         self._send_rndv_data(sreq, pkt.payload["recv_id"])
 
     def _on_rdata(self, pkt: SysPacket) -> None:

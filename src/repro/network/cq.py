@@ -58,6 +58,7 @@ class CqEntry:
     local_id: Optional[int] = None   # matches a pending handle at the origin
     inline: Optional[Any] = None     # numpy payload for shm inline transfer
     seq: Optional[int] = None        # transfer sequence number (fault dedup)
+    san: Optional[Any] = None        # originating op's sanitizer clock
     meta: dict = field(default_factory=dict)
 
 

@@ -33,6 +33,7 @@ from repro.network.topology import Machine
 from repro.network.transports.base import TransferPlan
 from repro.network.transports.shm import ShmTransport
 from repro.network.transports.ugni import BteEngine, FmaEngine
+from repro.sanitizer.shadow import ATOMIC, READ, WRITE
 from repro.sim.engine import Engine, Event
 from repro.sim.resources import Signal, Store
 from repro.sim.rng import RngStream
@@ -56,6 +57,10 @@ class OpHandle:
     target: int = -1
     commit_at: float = 0.0    # absolute time the data commits remotely
     failed: bool = False      # abandoned by the fault layer (never commits)
+    #: sanitizer clocks (None unless sanitizing): the remote leg (commit /
+    #: serve) and, for gets, the local delivery leg
+    san_remote: object = None
+    san_local: object = None
 
 
 @dataclass
@@ -69,6 +74,8 @@ class SysPacket:
     payload: dict = field(default_factory=dict)
     data: Optional[np.ndarray] = None
     time: float = 0.0
+    #: sender's released vector clock (sanitizer runs only)
+    san_clock: Optional[dict] = None
 
 
 class Nic:
@@ -154,10 +161,13 @@ class Fabric:
                  spaces: list[AddressSpace],
                  params: Optional[TransportParams] = None,
                  tracer: Optional[Tracer] = None, seed: int = 42,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 sanitizer=None):
         if len(spaces) != machine.nranks:
             raise NetworkError("one address space per rank required")
         self.engine = engine
+        #: happens-before tracker (None = sanitizer off, zero overhead)
+        self.san = sanitizer
         self.machine = machine
         self.spaces = spaces
         self.params = params or TransportParams()
@@ -249,7 +259,8 @@ class Fabric:
                            target_addr: Optional[int], when: float,
                            same_node: bool,
                            inline: Optional[np.ndarray] = None,
-                           seq: Optional[int] = None) -> None:
+                           seq: Optional[int] = None,
+                           san_op=None) -> None:
         """Post a dest-CQ/ring entry at ``accessed`` rank at time ``when``.
 
         With ``seq`` set, the post goes through the NIC's exactly-once
@@ -268,7 +279,7 @@ class Fabric:
                                nbytes=nbytes, time=self.engine.now,
                                immediate=immediate, win_id=win_id,
                                target_addr=target_addr, inline=inline,
-                               seq=seq))
+                               seq=seq, san=san_op))
 
         self._at(when, deliver)
 
@@ -280,7 +291,8 @@ class Fabric:
             immediate: Optional[int] = None,
             accumulate: Optional[str] = None,
             acc_dtype=np.float64,
-            scatter: Optional[list[tuple[int, int]]] = None) -> OpHandle:
+            scatter: Optional[list[tuple[int, int]]] = None,
+            san_track: bool = True) -> OpHandle:
         """RDMA write of ``data`` into ``target``'s memory.
 
         If ``immediate`` is set this is a *notified* put: a CQ entry carrying
@@ -355,7 +367,25 @@ class Fabric:
 
         space = self.spaces[target]
 
+        san_op = None
+        if self.san is not None:
+            san_op = self.san.op_begin(origin)
+            eng_used = (nic.shm if same
+                        else nic.fma if nbytes <= self.params.fma_max
+                        else nic.bte)
+            san_chan = eng_used.san_channel
+            san_blocks = (scatter if scatter is not None
+                          else [(target_addr, nbytes)])
+            san_kind = WRITE if accumulate is None else ATOMIC
+
         def commit() -> None:
+            if san_op is not None:
+                # Runs before the zero-byte early-out: a zero-byte notified
+                # put (the flush+notify credit) still carries the in-order
+                # channel's clock to its consumer.
+                self.san.op_commit(san_op, origin, target, san_blocks,
+                                   kind=san_kind, chan=san_chan,
+                                   record=san_track)
             if not nbytes:
                 return
             if scatter is not None:
@@ -383,7 +413,7 @@ class Fabric:
                 self._post_notification(
                     origin, target, "put", nbytes, immediate, win_id,
                     target_addr, plan.commit_at, same,
-                    inline=(raw if inline else None))
+                    inline=(raw if inline else None), san_op=san_op)
         else:
             # Completion path with exactly-once dedup: payload commit and
             # notification post travel together under one sequence number,
@@ -404,7 +434,8 @@ class Fabric:
                         nbytes=nbytes, time=self.engine.now,
                         immediate=immediate, win_id=win_id,
                         target_addr=target_addr,
-                        inline=(raw if inline else None), seq=seq))
+                        inline=(raw if inline else None), seq=seq,
+                        san=san_op))
 
             self._at(plan.commit_at, deliver)
             if fate is not None and fate.duplicate:
@@ -414,7 +445,7 @@ class Fabric:
         self._at(plan.ack_at, lambda: remote_done.succeed(None))
         return OpHandle("put", plan.cpu_busy, local_done, remote_done,
                         nbytes=nbytes, target=target,
-                        commit_at=plan.commit_at)
+                        commit_at=plan.commit_at, san_remote=san_op)
 
     # ------------------------------------------------------------------
     # RDMA get
@@ -505,7 +536,19 @@ class Fabric:
         # Snapshot at serve time (the value read is the value at serve).
         snapshot: list[Optional[np.ndarray]] = [None]
 
+        san_op = san_del = None
+        if self.san is not None:
+            # Two legs, two actors: the remote read (serves at the target)
+            # and the dependent local delivery (commits at the origin).
+            san_op = self.san.op_begin(origin)
+            san_del = self.san.op_child(san_op)
+
         def serve() -> None:
+            if san_op is not None:
+                blocks = (gather if gather is not None
+                          else [(target_addr, nbytes)])
+                self.san.op_commit(san_op, origin, target, blocks,
+                                   kind=READ)
             if not nbytes:
                 return
             if gather is not None:
@@ -515,6 +558,11 @@ class Fabric:
                 snapshot[0] = tspace.copy_out(target_addr, nbytes)
 
         def deliver() -> None:
+            if san_del is not None:
+                blocks = (scatter if scatter is not None
+                          else [(local_addr, nbytes)])
+                self.san.op_commit(san_del, target, origin, blocks,
+                                   kind=WRITE)
             if not nbytes:
                 return
             if scatter is not None:
@@ -535,14 +583,15 @@ class Fabric:
             seq = self._next_seq()
             self._post_notification(origin, target, "get", nbytes, immediate,
                                     win_id, target_addr, notify_at, same,
-                                    seq=seq)
+                                    seq=seq, san_op=san_op)
             if fate is not None and fate.duplicate:
                 self._post_notification(origin, target, "get", nbytes,
                                         immediate, win_id, target_addr,
                                         notify_at + fate.dup_lag, same,
-                                        seq=seq)
+                                        seq=seq, san_op=san_op)
         return OpHandle("get", cpu_busy, local_done, remote_done,
-                        nbytes=nbytes, target=target, commit_at=data_at)
+                        nbytes=nbytes, target=target, commit_at=data_at,
+                        san_remote=san_del, san_local=san_del)
 
     # ------------------------------------------------------------------
     # Atomic memory operations
@@ -604,7 +653,13 @@ class Fabric:
         tspace = self.spaces[target]
         result: list[int] = [0]
 
+        san_op = (self.san.op_begin(origin)
+                  if self.san is not None else None)
+
         def execute() -> None:
+            if san_op is not None:
+                self.san.amo_commit(san_op, origin, target, target_addr,
+                                    itemsize)
             view = tspace.mem[target_addr:target_addr + itemsize].view(dtype)
             old = view[0].item()
             result[0] = old
@@ -623,7 +678,7 @@ class Fabric:
             if immediate is not None:
                 self._post_notification(origin, target, "amo", itemsize,
                                         immediate, win_id, target_addr,
-                                        exec_at, same)
+                                        exec_at, same, san_op=san_op)
         else:
             # Atomics are the least idempotent op of all: execute and
             # notification share one sequence number so a duplicated
@@ -642,7 +697,8 @@ class Fabric:
                                        target=target, nbytes=itemsize,
                                        time=self.engine.now,
                                        immediate=immediate, win_id=win_id,
-                                       target_addr=target_addr, seq=seq))
+                                       target_addr=target_addr, seq=seq,
+                                       san=san_op))
 
             self._at(exec_at, deliver)
             if fate is not None and fate.duplicate:
@@ -650,7 +706,8 @@ class Fabric:
         self._at(done_at, lambda: local_done.succeed(None))
         self._at(done_at, lambda: remote_done.succeed(result[0]))
         return OpHandle("amo", cpu_busy, local_done, remote_done,
-                        nbytes=itemsize, target=target, commit_at=exec_at)
+                        nbytes=itemsize, target=target, commit_at=exec_at,
+                        san_remote=san_op)
 
     # ------------------------------------------------------------------
     # Software protocol messages (message passing, RMA control)
@@ -707,6 +764,8 @@ class Fabric:
         snapshot = None if data is None else np.ascontiguousarray(
             data).view(np.uint8).ravel().copy()
         seq = self._next_seq()
+        san_clock = (self.san.release(origin)
+                     if self.san is not None else None)
 
         def deliver() -> None:
             tnic = self.nics[target]
@@ -716,7 +775,8 @@ class Fabric:
                 return
             pkt = SysPacket(ptype=ptype, source=origin, target=target,
                             nbytes=nbytes, payload=dict(payload or {}),
-                            data=snapshot, time=self.engine.now)
+                            data=snapshot, time=self.engine.now,
+                            san_clock=san_clock)
             tnic.sys_inbox.put(pkt)
             tnic.sys_arrival.fire(pkt)
             if self.on_sys_arrival is not None:

@@ -25,6 +25,9 @@ class ShmTransport:
     """Prices intra-node copies performed by the origin CPU."""
 
     offloaded = False
+    #: deliveries into one segment commit in ring order; the sanitizer
+    #: chains commit clocks along this channel (per origin/target pair)
+    san_channel: Optional[str] = "shm"
 
     def __init__(self, engine: Engine, params: TransportParams,
                  name: str = ""):

@@ -29,6 +29,9 @@ class FmaEngine:
     """CPU-driven small-transfer engine."""
 
     offloaded = False
+    #: FMA transfers between one pair commit in issue order (uGNI FMA
+    #: ordering); the sanitizer chains commit clocks along this channel
+    san_channel: Optional[str] = "fma"
 
     def __init__(self, engine: Engine, params: LogGPParams, name: str = ""):
         self.params = params
@@ -58,6 +61,9 @@ class BteEngine:
     """Offloaded block-transfer engine."""
 
     offloaded = True
+    #: BTE DMA completions are unordered with respect to other transfers;
+    #: no channel clock — only flush/notification edges order them
+    san_channel: Optional[str] = None
 
     def __init__(self, engine: Engine, params: LogGPParams, name: str = ""):
         self.params = params

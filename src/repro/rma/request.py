@@ -36,15 +36,24 @@ class RmaRequest:
         """Nonblocking local-completion check."""
         return self.done
 
+    def _san_acquire(self, clock_attr: str) -> None:
+        san = getattr(self.ctx.cluster, "sanitizer", None)
+        if san is not None:
+            san.acquire_op(self.ctx.rank,
+                           getattr(self.handle, clock_attr))
+
     def wait(self) -> Generator[object, object, None]:
         """Block until local completion (use with ``yield from``)."""
         if not self.handle.local_done.processed:
             yield self.handle.local_done
+        # Local completion of a get means the data landed in the buffer.
+        self._san_acquire("san_local")
 
     def wait_remote(self) -> Generator[object, object, None]:
         """Block until remote completion (flush semantics for one op)."""
         if not self.handle.remote_done.processed:
             yield self.handle.remote_done
+        self._san_acquire("san_remote")
 
 
 def rput(win: Window, data: np.ndarray, target: int,

@@ -115,10 +115,19 @@ class Window:
 
     # -- local memory --------------------------------------------------
     def local(self, dtype=np.uint8, offset: int = 0,
-              count: Optional[int] = None) -> np.ndarray:
-        """NumPy view of this rank's window memory."""
+              count: Optional[int] = None,
+              mode: str = "rw") -> np.ndarray:
+        """NumPy view of this rank's window memory.
+
+        ``mode`` ("rw", "r", or "raw") is the sanitizer access annotation,
+        see :meth:`repro.memory.address.Region.ndarray`.
+        """
         return self.region.ndarray(dtype, offset=WIN_HEADER + offset,
-                                   count=count)
+                                   count=count, mode=mode)
+
+    @property
+    def _san(self):
+        return getattr(self.ctx.cluster, "sanitizer", None)
 
     @property
     def local_size(self) -> int:
@@ -206,6 +215,10 @@ class Window:
                                    addr, op, operand, dtype=dtype,
                                    win_id=self.id)
         old = yield h.remote_done
+        if self._san is not None:
+            # The fetched value orders this rank after the atomic (and,
+            # through the location clock, after whoever stored the value).
+            self._san.acquire_op(self.rank, h.san_remote)
         return old
 
     def compare_and_swap(self, operand: int, compare: int, target: int,
@@ -219,6 +232,8 @@ class Window:
                                    addr, "cas", operand, compare=compare,
                                    dtype=dtype, win_id=self.id)
         old = yield h.remote_done
+        if self._san is not None:
+            self._san.acquire_op(self.rank, h.san_remote)
         return old
 
     # -- completion --------------------------------------------------------
@@ -227,6 +242,12 @@ class Window:
         handles = self._pending.pop(target, [])
         if handles:
             yield self.ctx.engine.all_of([h.remote_done for h in handles])
+            san = self._san
+            if san is not None:
+                # Remote completion acknowledged: this rank is ordered
+                # after every flushed op's commit.
+                for h in handles:
+                    san.acquire_op(self.rank, h.san_remote)
 
     def flush_local(self, target: int) -> Generator[object, object, None]:
         """Wait for local completion only (origin buffers reusable).
@@ -237,6 +258,13 @@ class Window:
         handles = self._pending.get(target, [])
         if handles:
             yield self.ctx.engine.all_of([h.local_done for h in handles])
+            san = self._san
+            if san is not None:
+                # Only the *local* legs (a get's delivery into origin
+                # memory).  A put's remote commit is deliberately NOT
+                # acquired: flush_local does not order it.
+                for h in handles:
+                    san.acquire_op(self.rank, h.san_local)
             handles[:] = [h for h in handles
                           if not h.remote_done.processed]
             if not handles:
@@ -322,6 +350,10 @@ class Window:
                     "cas", self.rank + 1, compare=0, win_id=self.id)
                 old = yield h.remote_done
                 if old == 0:
+                    if self._san is not None:
+                        # Lock acquired: ordered after the unlock whose 0
+                        # this CAS observed (via the lock-word clock).
+                        self._san.acquire_op(self.rank, h.san_remote)
                     break
         self._locked.add(target)
         self._epoch = _EPOCH_LOCK
@@ -337,6 +369,8 @@ class Window:
                                        target, lock_addr, "replace", 0,
                                        win_id=self.id)
             yield h.remote_done
+            if self._san is not None:
+                self._san.acquire_op(self.rank, h.san_remote)
         self._locked.discard(target)
         if not self._locked:
             self._epoch = _EPOCH_NONE

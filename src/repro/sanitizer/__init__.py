@@ -1,0 +1,24 @@
+"""Happens-before race detection for the simulated fabric.
+
+The sanitizer layers a vector-clock tracker (TSan-style, after
+Gerstenberger et al.'s MPI-3 RMA memory-model rules) over the simulator:
+every local window access, remote put/get/accumulate commit, notification
+match, counter wait, flush, and message match becomes an event, and two
+conflicting accesses with no happens-before path raise
+:class:`repro.errors.RaceError`.  Enable with ``ClusterConfig(sanitize=True)``
+or ``pytest --sanitize``; off by default so schedules and golden values are
+untouched.
+"""
+
+from repro.sanitizer.shadow import ATOMIC, READ, WRITE, Access, Shadow
+from repro.sanitizer.tracker import OpClock, Sanitizer
+
+__all__ = [
+    "ATOMIC",
+    "READ",
+    "WRITE",
+    "Access",
+    "OpClock",
+    "Sanitizer",
+    "Shadow",
+]

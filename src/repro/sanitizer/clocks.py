@@ -1,0 +1,22 @@
+"""Vector clocks as plain dicts mapping actor id -> tick.
+
+Actors are ranks (ids ``0..nranks-1``) plus one fresh id per in-flight
+remote operation: a put handed to the NIC is *not* ordered after later CPU
+work of its origin, so it gets its own clock component instead of sharing
+the origin's.  Absent keys mean tick 0.
+"""
+
+from __future__ import annotations
+
+
+def join_into(dst: dict[int, int], src: dict[int, int]) -> dict[int, int]:
+    """Pointwise-max merge of ``src`` into ``dst`` (in place)."""
+    for actor, tick in src.items():
+        if dst.get(actor, 0) < tick:
+            dst[actor] = tick
+    return dst
+
+
+def covers(vc: dict[int, int], actor: int, tick: int) -> bool:
+    """True iff the event ``(actor, tick)`` happened-before clock ``vc``."""
+    return vc.get(actor, 0) >= tick

@@ -1,0 +1,120 @@
+"""Shadow memory: per-rank interval records of who last touched which bytes.
+
+One :class:`Shadow` per address space.  Records are bucketed by 256-byte
+page so an access only scans records overlapping its pages.  A new access
+*supersedes* an older record (removes it) when it covers the same bytes,
+happens-after it, and its kind subsumes the old one — this keeps the shadow
+proportional to the live communication pattern, not to simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.sanitizer.clocks import covers
+
+#: Access kinds.  READ/READ and ATOMIC/ATOMIC pairs never conflict.
+READ = 0
+WRITE = 1
+ATOMIC = 2
+
+_KIND_NAMES = ("read", "write", "atomic")
+
+_PAGE = 256
+
+
+def kinds_conflict(a: int, b: int) -> bool:
+    if a == READ and b == READ:
+        return False
+    if a == ATOMIC and b == ATOMIC:
+        return False
+    return True
+
+
+def _kind_subsumes(new: int, old: int) -> bool:
+    """A WRITE record makes any same-range record redundant; READ and
+    ATOMIC records only subsume their own kind."""
+    return new == WRITE or new == old
+
+
+class Access:
+    """One recorded access: who, what bytes, at which clock epoch."""
+
+    __slots__ = ("kind", "rank", "addr", "nbytes", "actor", "tick",
+                 "time", "site")
+
+    def __init__(self, kind: int, rank: int, addr: int, nbytes: int,
+                 actor: int, tick: int, time: float,
+                 site: Optional[str] = None):
+        self.kind = kind
+        self.rank = rank
+        self.addr = addr
+        self.nbytes = nbytes
+        self.actor = actor
+        self.tick = tick
+        self.time = time
+        self.site = site
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.nbytes
+
+    def describe(self) -> str:
+        who = (f"rank {self.actor}" if self.actor == self.rank
+               else f"op#{self.actor} " if self.actor is not None
+               else "?")
+        where = f"rank {self.rank} bytes [{self.addr}, {self.end})"
+        site = f" at {self.site}" if self.site else ""
+        return (f"{_KIND_NAMES[self.kind]} of {where} by {who} "
+                f"(t={self.time:.3f}us){site}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Access {self.describe()}>"
+
+
+class Shadow:
+    """Interval shadow for one rank's address space."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, list[Access]] = {}
+
+    def _overlapping(self, addr: int, end: int) -> Iterator[Access]:
+        seen: set[int] = set()
+        for page in range(addr // _PAGE, (end - 1) // _PAGE + 1):
+            for rec in self._buckets.get(page, ()):
+                if id(rec) in seen:
+                    continue
+                seen.add(id(rec))
+                if rec.addr < end and addr < rec.end:
+                    yield rec
+
+    def _insert(self, rec: Access) -> None:
+        for page in range(rec.addr // _PAGE, (rec.end - 1) // _PAGE + 1):
+            self._buckets.setdefault(page, []).append(rec)
+
+    def _remove(self, rec: Access) -> None:
+        for page in range(rec.addr // _PAGE, (rec.end - 1) // _PAGE + 1):
+            bucket = self._buckets.get(page)
+            if bucket is not None:
+                try:
+                    bucket.remove(rec)
+                except ValueError:
+                    pass
+
+    def record(self, rec: Access,
+               vc: dict[int, int]) -> Optional[Access]:
+        """Record ``rec`` (performed at clock ``vc``); return the first
+        conflicting prior access with no happens-before edge, or None."""
+        stale: list[Access] = []
+        for old in self._overlapping(rec.addr, rec.end):
+            ordered = (old.actor == rec.actor and old.tick <= rec.tick) \
+                or covers(vc, old.actor, old.tick)
+            if not ordered and kinds_conflict(old.kind, rec.kind):
+                return old
+            if (ordered and old.addr >= rec.addr and old.end <= rec.end
+                    and _kind_subsumes(rec.kind, old.kind)):
+                stale.append(old)
+        for old in stale:
+            self._remove(old)
+        self._insert(rec)
+        return None

@@ -85,6 +85,10 @@ class Tracer:
         """Total injected-fault events (drops, dups, stalls, ...)."""
         return self.counters["fault"]
 
+    def race_count(self) -> int:
+        """Races recorded by the synchronization sanitizer."""
+        return self.counters["race"]
+
     def fault_counts(self) -> dict[str, int]:
         """Injected-fault events broken down by fault type."""
         return dict(self.faults)

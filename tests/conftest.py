@@ -2,12 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.cluster import Cluster, ClusterConfig
 from repro.network.loggp import TransportParams
 from repro.sim.engine import Engine
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="run every cluster with the synchronization sanitizer on "
+             "(sets REPRO_SANITIZE=1; see docs/architecture.md)")
+
+
+def pytest_configure(config):
+    if config.getoption("--sanitize"):
+        os.environ["REPRO_SANITIZE"] = "1"
 
 
 @pytest.fixture

@@ -1,0 +1,73 @@
+"""Smoke test: every ``benchmarks/bench_*.py`` entry point imports and runs.
+
+The benchmark suite is not part of the tier-1 run (``testpaths = tests``),
+so a broken import or a driver signature drift would otherwise go unnoticed
+until someone regenerates the figures.  This test imports each module and
+invokes each of its test functions once, at the *smallest* parametrized
+point, with a stub standing in for the pytest-benchmark fixture.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_MODULES = sorted(p.stem for p in BENCH_DIR.glob("bench_*.py"))
+
+if str(BENCH_DIR.parent) not in sys.path:    # `benchmarks` is a package
+    sys.path.insert(0, str(BENCH_DIR.parent))
+
+
+class _StubBenchmark:
+    """Minimal stand-in for the pytest-benchmark fixture: run once."""
+
+    def __call__(self, fn, *args, **kwargs):
+        return fn(*args, **kwargs)
+
+    def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1):
+        return fn(*args, **(kwargs or {}))
+
+
+def _first_params(func):
+    """First (smallest-listed) value of each ``parametrize`` mark."""
+    out = {}
+    for mark in getattr(func, "pytestmark", []):
+        if mark.name != "parametrize":
+            continue
+        names, values = mark.args[0], mark.args[1]
+        names = [n.strip() for n in names.split(",")] \
+            if isinstance(names, str) else list(names)
+        first = values[0]
+        if len(names) == 1:
+            out[names[0]] = first
+        else:
+            out.update(dict(zip(names, first)))
+    return out
+
+
+@pytest.mark.parametrize("modname", BENCH_MODULES)
+def test_bench_entry_points_run(modname):
+    mod = importlib.import_module(f"benchmarks.{modname}")
+    ran = 0
+    for name, func in sorted(vars(mod).items()):
+        if not (name.startswith("test_") and callable(func)):
+            continue
+        params = _first_params(func)
+        sig = inspect.signature(func)
+        kwargs = {}
+        for pname in sig.parameters:
+            if pname == "benchmark":
+                kwargs[pname] = _StubBenchmark()
+            elif pname in params:
+                kwargs[pname] = params[pname]
+            else:
+                pytest.fail(f"{modname}.{name}: no value for parameter "
+                            f"{pname!r}")
+        func(**kwargs)
+        ran += 1
+    assert ran, f"{modname} defines no test functions"

@@ -90,8 +90,12 @@ def test_counting_notification_single_request():
             return st.count
         yield from ctx.barrier()
         for i in range(5 // (ctx.size - 1) + 1):
-            if (ctx.rank - 1) + i * (ctx.size - 1) < 5:
-                yield from ctx.na.put_notify(win, np.zeros(2), 0, 0, tag=i)
+            seqno = (ctx.rank - 1) + i * (ctx.size - 1)
+            if seqno < 5:
+                # One disjoint 16-byte slot per access: concurrent puts to
+                # one location would be a (detected) data race.
+                yield from ctx.na.put_notify(win, np.zeros(2), 0,
+                                             seqno * 16, tag=i)
         return None
 
     results, _ = run_cluster(3, prog)

@@ -63,7 +63,10 @@ def test_lost_update_hazard():
             slot, value = yield from ctx.gaspi.waitsome(space)
             return (value, space.overwrites)
         yield from ctx.barrier()
-        yield from ctx.gaspi.write_notify(win, np.zeros(1), 0, 0, slot=0,
+        # Distinct data offsets: the racing resource is the *register*,
+        # not the payload bytes (which would be a real data race).
+        yield from ctx.gaspi.write_notify(win, np.zeros(1), 0,
+                                          (ctx.rank - 1) * 8, slot=0,
                                           value=ctx.rank * 100)
         return None
 

@@ -39,8 +39,12 @@ def test_queue_observes_exact_multiset(sends):
                 seen.append((st_.source, st_.tag))
             return sorted(seen)
         yield from ctx.barrier()
-        for tag in sends[ctx.rank]:
-            yield from ctx.na.put_notify(win, np.zeros(1), 0, 0, tag=tag)
+        for i, tag in enumerate(sends[ctx.rank]):
+            # Disjoint destination slots: the property under test is the
+            # notification multiset, not concurrent same-address writes.
+            disp = ((ctx.rank - 1) * 5 + i) * 8
+            yield from ctx.na.put_notify(win, np.zeros(1), 0, disp,
+                                         tag=tag)
         return None
 
     results, _ = run_cluster(len(sends) + 1, prog)
@@ -64,8 +68,9 @@ def test_counters_count_exact_totals(sends):
                 yield from ctx.counters.wait(req)
             return {p: r.cell.increments for p, r in reqs.items()}
         yield from ctx.barrier()
-        for _ in sends[ctx.rank]:
-            yield from ctx.counters.put_counted(win, np.zeros(1), 0, 0,
+        for i, _ in enumerate(sends[ctx.rank]):
+            disp = ((ctx.rank - 1) * 5 + i) * 8
+            yield from ctx.counters.put_counted(win, np.zeros(1), 0, disp,
                                                 tag=ctx.rank)
         return None
 
@@ -94,8 +99,9 @@ def test_overwriting_delivers_all_values_with_private_registers(sends):
         yield from ctx.barrier()
         for i, tag in enumerate(sends[ctx.rank]):
             slot = (ctx.rank - 1) * width + i
-            yield from ctx.gaspi.write_notify(win, np.zeros(1), 0, 0,
-                                              slot=slot, value=tag + 1)
+            yield from ctx.gaspi.write_notify(win, np.zeros(1), 0,
+                                              slot * 8, slot=slot,
+                                              value=tag + 1)
         return None
 
     results, _ = run_cluster(len(sends) + 1, prog)

@@ -118,7 +118,11 @@ def test_wildcard_counting_matches_reference(plan):
             delay = 200.0 + k * 10.0 + ctx.rank - ctx.now
             if delay > 0:
                 yield ctx.timeout(delay)
-            yield from ctx.na.put_notify(win, np.zeros(1), 0, 0, tag=tag)
+            # Disjoint slots per (producer, index): the property is the
+            # match order, not concurrent same-address writes.
+            disp = ((ctx.rank - 1) * 4 + k) * 8
+            yield from ctx.na.put_notify(win, np.zeros(1), 0, disp,
+                                         tag=tag)
         return None
 
     results, _ = run_cluster(nproducers + 1, prog)
