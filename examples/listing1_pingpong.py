@@ -23,7 +23,7 @@ def program(ctx):
     win = yield from fompi.Win_allocate(ctx, win_size, disp_unit=8)
     # The C listing's &buf is a pointer, not an access: take an unrecorded
     # view; the notified puts/waits carry all the synchronization.
-    buf = win.local(np.float64, mode="raw")
+    buf = win.local(np.float64, mode="raw")  # protocol: raw-ok
     my_rank = ctx.rank
     partner_rank = SERVER_RANK if my_rank == CLIENT_RANK else CLIENT_RANK
 

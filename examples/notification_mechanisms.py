@@ -28,6 +28,7 @@ def _delay(rank: int, i: int) -> float:
 
 
 def queueing(ctx):
+    # analyze: nranks=4
     win = yield from ctx.win_allocate(256)
     if ctx.rank == 0:
         req = yield from ctx.na.notify_init(win)
@@ -47,6 +48,7 @@ def queueing(ctx):
 
 
 def overwriting(ctx):
+    # analyze: nranks=4
     win = yield from ctx.win_allocate(256)
     if ctx.rank == 0:
         space = yield from ctx.gaspi.notification_init(
@@ -67,6 +69,7 @@ def overwriting(ctx):
 
 
 def counting(ctx):
+    # analyze: nranks=4
     win = yield from ctx.win_allocate(256)
     if ctx.rank == 0:
         reqs = {}

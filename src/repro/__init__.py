@@ -31,12 +31,12 @@ Quickstart::
 from repro._version import __version__
 from repro.cluster import Cluster, ClusterConfig, Rank, run_ranks
 from repro.errors import (
-    ReproError,
-    SimulationError,
-    RmaEpochError,
-    MatchingError,
     AllocationError,
     FaultError,
+    MatchingError,
+    ReproError,
+    RmaEpochError,
+    SimulationError,
 )
 from repro.faults import FaultPlan
 

@@ -1,0 +1,44 @@
+"""CLI: ``python -m repro.analysis <paths...>``.
+
+Exits 0 when every analyzed program is clean, 1 when any checker
+produced a finding, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import analyze_paths, collect_files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically verify Notified Access protocol usage "
+                    "(notification budget, deadlock, epoch discipline) "
+                    "without executing the programs.")
+    parser.add_argument("paths", nargs="+",
+                        help="Python files or directories to analyze")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the per-file summary line")
+    args = parser.parse_args(argv)
+
+    files = collect_files(args.paths)
+    if not files:
+        print("repro.analysis: no Python files found under "
+              + " ".join(args.paths), file=sys.stderr)
+        return 2
+    findings = analyze_paths(args.paths)
+    for finding in findings:
+        print(finding.format())
+    if not args.quiet:
+        status = (f"{len(findings)} finding(s)" if findings
+                  else "clean")
+        print(f"repro.analysis: {len(files)} file(s) analyzed, "
+              f"{status}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

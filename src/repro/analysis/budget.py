@@ -1,0 +1,186 @@
+"""Notification-budget balance under the wildcard matching lattice.
+
+Posts and waits are matched as a bipartite flow problem: each posted
+notification is one unit of supply at its target rank; each blocking
+wait demands ``expected_count`` units compatible with its request's
+``<window, source, tag>`` pattern (``ANY_SOURCE``/``ANY_TAG`` widen the
+pattern).  Maximum matching then distinguishes three defects:
+
+* ``budget.starved-wait`` — a wait with *no* compatible supply at all;
+* ``budget.threshold-overcount`` — compatible supply exists but the
+  program cannot cover the demanded threshold;
+* ``budget.dropped-notification`` — posted notifications that no wait
+  can ever consume (silently discarded at window free).
+
+The check runs only on programs whose every rank trace is exact and
+free of polling/waitany consumption; the GASPI overwriting mechanism is
+exempt because losing superseded notification values is its documented
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.instantiate import COp, Trace
+from repro.analysis.ir import Program
+from repro.analysis.report import Finding
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+
+#: mechanisms with counting (non-overwriting) notification semantics
+_COUNTED_MECHS = ("na", "counter")
+
+
+@dataclass
+class _Supply:
+    rank: int            # target rank holding the notification
+    mech: str
+    win: object
+    source: int
+    tag: int
+    line: int
+    post_rank: int
+    taken_by: int = -1   # demand index, -1 = free
+
+
+@dataclass
+class _Demand:
+    rank: int
+    mech: str
+    win: object
+    source: int
+    tag: int
+    expected: int
+    line: int
+    matched: int = 0
+
+
+def _compatible(supply: _Supply, demand: _Demand) -> bool:
+    return (supply.rank == demand.rank
+            and supply.mech == demand.mech
+            and supply.win == demand.win
+            and demand.source in (ANY_SOURCE, supply.source)
+            and demand.tag in (ANY_TAG, supply.tag))
+
+
+def _max_flow(supplies: list[_Supply], demands: list[_Demand]) -> None:
+    """Kuhn-style augmenting matching; unit supplies, capacitated
+    demands."""
+    adjacency: list[list[int]] = [
+        [d for d, demand in enumerate(demands)
+         if _compatible(supply, demand)]
+        for supply in supplies
+    ]
+
+    def try_assign(s: int, visited: set[int]) -> bool:
+        for d in adjacency[s]:
+            if d in visited:
+                continue
+            visited.add(d)
+            demand = demands[d]
+            if demand.matched < demand.expected:
+                _take(s, d)
+                return True
+            # try to re-route one of this demand's suppliers elsewhere
+            for other, supply in enumerate(supplies):
+                if supply.taken_by == d and \
+                        try_assign_excluding(other, d, visited):
+                    _take(s, d)
+                    return True
+        return False
+
+    def try_assign_excluding(s: int, exclude: int,
+                             visited: set[int]) -> bool:
+        supplies[s].taken_by = -1
+        demands[exclude].matched -= 1
+        if try_assign(s, visited):
+            return True
+        supplies[s].taken_by = exclude
+        demands[exclude].matched += 1
+        return False
+
+    def _take(s: int, d: int) -> None:
+        supplies[s].taken_by = d
+        demands[d].matched += 1
+
+    for index in range(len(supplies)):
+        try_assign(index, set())
+
+
+def check_budget(program: Program, size: int,
+                 traces: list[Trace]) -> list[Finding]:
+    if any(not t.exact for t in traces) or \
+            any(t.has_poll for t in traces):
+        return []
+
+    supplies: list[_Supply] = []
+    demands: list[_Demand] = []
+    for trace in traces:
+        for op in trace.ops:
+            if op.mech not in _COUNTED_MECHS:
+                continue
+            if op.kind == "post":
+                assert op.target is not None
+                supplies.append(_Supply(
+                    rank=op.target, mech=op.mech, win=op.win,
+                    source=op.source, tag=op.tag, line=op.line,
+                    post_rank=trace.rank))
+            elif op.kind == "wait":
+                demands.append(_Demand(
+                    rank=trace.rank, mech=op.mech, win=op.win,
+                    source=op.source, tag=op.tag,
+                    expected=op.expected, line=op.line))
+
+    if not supplies and not demands:
+        return []
+    _max_flow(supplies, demands)
+
+    findings: list[Finding] = []
+    for demand in demands:
+        if demand.matched >= demand.expected:
+            continue
+        any_compatible = any(
+            _compatible(s, demand) for s in supplies)
+        pattern = _pattern(demand.source, demand.tag)
+        if not any_compatible:
+            ranks = (demand.rank,) if demand.source == ANY_SOURCE \
+                else tuple(sorted({demand.rank, demand.source}))
+            findings.append(Finding(
+                check="budget.starved-wait", path=program.path,
+                line=demand.line, program=program.qualname,
+                message=(f"rank {demand.rank} waits for "
+                         f"{demand.expected} notification(s) matching "
+                         f"{pattern} but no rank ever posts one"),
+                ranks=ranks, size=size))
+        else:
+            findings.append(Finding(
+                check="budget.threshold-overcount", path=program.path,
+                line=demand.line, program=program.qualname,
+                message=(f"rank {demand.rank} waits for "
+                         f"{demand.expected} notification(s) matching "
+                         f"{pattern} but only {demand.matched} can "
+                         f"ever arrive"),
+                ranks=(demand.rank,), size=size))
+
+    # leftover supply that no wait can consume
+    leftovers: dict[tuple[int, int, object, int, int], list[_Supply]] = {}
+    for supply in supplies:
+        if supply.taken_by == -1:
+            key = (supply.rank, supply.post_rank, supply.win,
+                   supply.tag, supply.line)
+            leftovers.setdefault(key, []).append(supply)
+    for (rank, post_rank, _win, tag, line), group in leftovers.items():
+        findings.append(Finding(
+            check="budget.dropped-notification", path=program.path,
+            line=line, program=program.qualname,
+            message=(f"{len(group)} notification(s) posted by rank "
+                     f"{post_rank} to rank {rank} with tag {tag} are "
+                     f"never consumed by any wait"),
+            ranks=tuple(sorted({post_rank, rank})), size=size))
+    return findings
+
+
+def _pattern(source: int, tag: int) -> str:
+    src = "ANY_SOURCE" if source == ANY_SOURCE else f"source={source}"
+    tg = "ANY_TAG" if tag == ANY_TAG else f"tag={tag}"
+    return f"<{src}, {tg}>"

@@ -1,0 +1,483 @@
+"""Instantiate a symbolic program for a concrete ``(rank, size)`` pair.
+
+The cross-rank checkers (notification budget, deadlock) need concrete
+peer ranks and tags.  This module walks the IR with a small abstract
+interpreter: assignments, arithmetic, branches and loops with statically
+known bounds execute for real; anything unresolvable aborts the trace
+and marks it *inexact*, which silences the cross-rank checks for that
+program — the verifier reports nothing rather than guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.analysis import ir
+from repro.analysis import symbols as sym
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL
+
+#: loop-iteration cap: beyond this the trace is declared inexact
+MAX_ITERATIONS = 4096
+
+_req_ids = count()
+
+
+@dataclass(frozen=True)
+class WindowVal:
+    """A window allocated by the n-th collective ``win_allocate``.
+
+    Window identity is positional: the n-th allocation on every rank is
+    the same window, which is how the simulator assigns window ids for
+    collectively allocated windows.
+    """
+
+    index: int
+
+
+@dataclass(frozen=True)
+class SpaceVal:
+    """A GASPI notification space attached to a window."""
+
+    win: WindowVal
+    num: int
+
+
+@dataclass(frozen=True)
+class ReqVal:
+    """A persistent notification/counter request."""
+
+    uid: int
+    mech: str                   # "na" | "counter" | "p2p_send" | "p2p_recv"
+    win: WindowVal | None
+    source: int
+    tag: int
+    expected: int
+    line: int
+
+
+@dataclass
+class COp:
+    """One concrete trace event."""
+
+    kind: str                   # "post" | "wait" | "recv" | "barrier" | ...
+    mech: str = ""              # "na" | "counter" | "gaspi" | "p2p"
+    line: int = 0
+    win: WindowVal | None = None
+    target: int | None = None   # posts: destination rank
+    source: int = ANY_SOURCE    # posts: origin; waits: request source
+    tag: int = ANY_TAG
+    expected: int = 1
+    req: ReqVal | None = None
+
+
+@dataclass
+class Trace:
+    """The concrete event sequence of one rank."""
+
+    rank: int
+    size: int
+    ops: list[COp] = field(default_factory=list)
+    exact: bool = True
+    #: reason the trace went inexact, for diagnostics
+    reason: str = ""
+    #: nondeterministic consumption (test/probe/waitany) present
+    has_poll: bool = False
+    #: PSCW / lock epochs present (deadlock replay skips these)
+    has_pscw: bool = False
+
+
+class _Inexact(Exception):
+    def __init__(self, reason: str):
+        self.reason = reason
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    pass
+
+
+#: op kinds with no effect on the cross-rank checkers
+_SILENT_KINDS = frozenset({
+    "alloc", "nop", "san_acquire", "win_view", "region_read",
+    "win_put", "win_get", "win_accumulate", "win_fetch_and_op",
+    "put_typed", "get_typed",
+    "win_compare_and_swap", "win_flush",
+    "win_flush_local", "win_flush_all", "win_flush_local_all",
+    "win_lock", "win_unlock", "win_lock_all", "win_unlock_all",
+    "win_free", "na_request_free", "counter_request_free",
+})
+
+_PSCW_KINDS = frozenset({
+    "win_post", "win_start", "win_complete", "win_wait_pscw",
+})
+
+#: polling / nondeterministic-selection ops: budget and deadlock cannot
+#: attribute consumption, so their presence disables both checks
+_POLL_LIKE = frozenset({
+    "na_test", "na_testany", "na_probe", "na_waitany", "counter_test",
+    "comm_probe", "comm_waitany",
+})
+
+
+class _Interp:
+    def __init__(self, program: ir.Program, rank: int, size: int):
+        self.program = program
+        self.trace = Trace(rank=rank, size=size)
+        self.env = sym.Env(rank=rank, size=size,
+                           globals_=program.module_consts)
+        for index, name in enumerate(program.params):
+            if index < len(program.arg_values):
+                self.env.store(name, program.arg_values[index])
+            else:
+                self.env.store(name, sym.UNKNOWN)
+        self.win_index = 0
+        self.steps = 0
+
+    # -- helpers ---------------------------------------------------------
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > 250_000:
+            raise _Inexact("trace too long")
+
+    def _int(self, op: ir.Op, role: str, default: int | None = None) -> int:
+        expr = op.args.get(role)
+        if expr is None:
+            if default is None:
+                raise _Inexact(f"{op.kind}: missing {role}")
+            return default
+        value = expr.evaluate(self.env)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise _Inexact(f"{op.kind} line {op.line}: "
+                           f"unresolved {role}")
+        return value
+
+    def _win(self, op: ir.Op) -> WindowVal:
+        expr = op.args.get("win")
+        if expr is None:
+            raise _Inexact(f"{op.kind}: missing window")
+        value = expr.evaluate(self.env)
+        if isinstance(value, SpaceVal):
+            return value.win
+        if not isinstance(value, WindowVal):
+            raise _Inexact(f"{op.kind} line {op.line}: unresolved window")
+        return value
+
+    def _record(self, cop: COp) -> None:
+        self.trace.ops.append(cop)
+
+    # -- statement walk --------------------------------------------------
+    def run(self) -> Trace:
+        try:
+            self._stmts(self.program.body)
+        except _Return:
+            pass
+        except _Inexact as exc:
+            self.trace.exact = False
+            self.trace.reason = exc.reason
+        except RecursionError:               # pragma: no cover - defensive
+            self.trace.exact = False
+            self.trace.reason = "recursion limit"
+        return self.trace
+
+    def _stmts(self, stmts: list[ir.Stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ir.Stmt) -> None:
+        self._tick()
+        if isinstance(stmt, ir.Assign):
+            if isinstance(stmt.value, ir.Op):
+                result = self._op(stmt.value)
+            else:
+                result = stmt.value.evaluate(self.env)
+            self._bind(stmt.target, result, stmt.line)
+        elif isinstance(stmt, ir.ExprStmt):
+            if isinstance(stmt.value, ir.Op):
+                self._op(stmt.value)
+        elif isinstance(stmt, ir.If):
+            cond = stmt.cond.evaluate(self.env)
+            if not sym.is_known(cond):
+                raise _Inexact(f"line {stmt.line}: unresolved branch")
+            self._stmts(stmt.body if cond else stmt.orelse)
+        elif isinstance(stmt, ir.For):
+            self._for(stmt)
+        elif isinstance(stmt, ir.While):
+            self._while(stmt)
+        elif isinstance(stmt, ir.Return):
+            raise _Return
+        elif isinstance(stmt, ir.Break):
+            raise _Break
+        elif isinstance(stmt, ir.Continue):
+            raise _Continue
+        elif isinstance(stmt, ir.YieldRaw):
+            pass
+        elif isinstance(stmt, ir.Unknown):
+            raise _Inexact(f"line {stmt.line}: {stmt.reason}")
+
+    def _for(self, stmt: ir.For) -> None:
+        iterable = stmt.iter.evaluate(self.env)
+        if not sym.is_known(iterable) or \
+                not isinstance(iterable, (list, tuple)):
+            raise _Inexact(f"line {stmt.line}: unresolved loop bounds")
+        if len(iterable) > MAX_ITERATIONS:
+            raise _Inexact(f"line {stmt.line}: loop too long")
+        for item in iterable:
+            self._bind(stmt.target, item, stmt.line)
+            try:
+                self._stmts(stmt.body)
+            except _Break:
+                break
+            except _Continue:
+                continue
+
+    def _while(self, stmt: ir.While) -> None:
+        for _ in range(MAX_ITERATIONS):
+            cond = stmt.cond.evaluate(self.env)
+            if not sym.is_known(cond):
+                raise _Inexact(f"line {stmt.line}: unresolved while")
+            if not cond:
+                return
+            try:
+                self._stmts(stmt.body)
+            except _Break:
+                return
+            except _Continue:
+                continue
+        raise _Inexact(f"line {stmt.line}: while cap exceeded")
+
+    def _bind(self, target: sym.SymExpr, value: object,
+              line: int) -> None:
+        if isinstance(target, sym.Name):
+            self.env.store(target.id, value)
+        elif isinstance(target, sym.TupleExpr):
+            if sym.is_known(value) and \
+                    isinstance(value, (list, tuple)) and \
+                    len(value) == len(target.items):
+                for part, item in zip(target.items, value):
+                    self._bind(part, item, line)
+            else:
+                for part in target.items:
+                    self._bind(part, sym.UNKNOWN, line)
+        elif isinstance(target, sym.Sub):
+            base = target.value.evaluate(self.env)
+            index = target.index.evaluate(self.env)
+            if sym.is_known(base) and sym.is_known(index) and \
+                    isinstance(base, (list, dict)):
+                try:
+                    base[index] = value          # type: ignore[index]
+                    return
+                except Exception:
+                    pass
+            # cannot locate the cell: invalidate the whole container
+            if isinstance(target.value, sym.Name):
+                self.env.store(target.value.id, sym.UNKNOWN)
+
+    # -- op execution ----------------------------------------------------
+    def _op(self, op: ir.Op) -> object:
+        kind = op.kind
+        if kind in _SILENT_KINDS:
+            return sym.UNKNOWN
+        if kind in _PSCW_KINDS:
+            self.trace.has_pscw = True
+            return sym.UNKNOWN
+        if kind in _POLL_LIKE:
+            self.trace.has_poll = True
+            # testany/waitany return (index, status)-ish tuples
+            return sym.UNKNOWN
+        if kind == "unknown":
+            raise _Inexact(f"line {op.line}: unrecognized call")
+        if kind == "win_allocate":
+            win = WindowVal(self.win_index)
+            self.win_index += 1
+            return win
+        if kind in ("barrier", "collective", "win_fence", "win_fence_end"):
+            self._record(COp(kind="barrier", line=op.line))
+            return sym.UNKNOWN
+        if kind == "notify_init":
+            return self._make_req(op, "na")
+        if kind == "counter_init":
+            return self._make_req(op, "counter")
+        if kind in ("na_start", "counter_start"):
+            self._req_of(op)
+            return None
+        if kind in ("na_wait", "counter_wait"):
+            req = self._req_of(op)
+            self._record(COp(kind="wait", mech=req.mech, line=op.line,
+                             win=req.win, source=req.source, tag=req.tag,
+                             expected=req.expected, req=req))
+            return sym.UNKNOWN
+        if kind in ("na_waitall", "comm_waitall"):
+            reqs = self._reqs_of(op)
+            for req in reqs:
+                if req.mech == "p2p_send":
+                    continue
+                if req.mech == "p2p_recv":
+                    self._record(COp(kind="recv", mech="p2p",
+                                     line=op.line, source=req.source,
+                                     tag=req.tag, req=req))
+                else:
+                    self._record(COp(kind="wait", mech=req.mech,
+                                     line=op.line, win=req.win,
+                                     source=req.source, tag=req.tag,
+                                     expected=req.expected, req=req))
+            return sym.UNKNOWN
+        if kind in ("put_notify", "accumulate_notify", "get_notify",
+                    "flush_notify", "put_counted"):
+            mech = "counter" if kind == "put_counted" else "na"
+            target = self._int(op, "target")
+            if target == PROC_NULL:
+                return sym.UNKNOWN
+            self._check_peer(op, target)
+            self._record(COp(kind="post", mech=mech, line=op.line,
+                             win=self._win(op), target=target,
+                             source=self.trace.rank,
+                             tag=self._int(op, "tag", 0)))
+            return sym.UNKNOWN
+        if kind == "gaspi_init":
+            win = self._win(op)
+            num = self._int(op, "num", 1)
+            return SpaceVal(win=win, num=num)
+        if kind == "waitsome":
+            expr = op.args.get("space")
+            space = expr.evaluate(self.env) if expr is not None else None
+            if not isinstance(space, SpaceVal):
+                raise _Inexact(f"line {op.line}: unresolved space")
+            self._record(COp(kind="wait", mech="gaspi", line=op.line,
+                             win=space.win, source=ANY_SOURCE,
+                             tag=ANY_TAG, expected=1))
+            return sym.UNKNOWN
+        if kind == "write_notify":
+            target = self._int(op, "target")
+            if target == PROC_NULL:
+                return sym.UNKNOWN
+            self._check_peer(op, target)
+            self._record(COp(kind="post", mech="gaspi", line=op.line,
+                             win=self._win(op), target=target,
+                             source=self.trace.rank,
+                             tag=self._int(op, "slot", 0)))
+            return sym.UNKNOWN
+        if kind == "send":
+            target = self._int(op, "target")
+            if target == PROC_NULL:
+                return sym.UNKNOWN
+            self._check_peer(op, target)
+            self._record(COp(kind="send", mech="p2p", line=op.line,
+                             target=target, source=self.trace.rank,
+                             tag=self._int(op, "tag", 0)))
+            return sym.UNKNOWN
+        if kind == "isend":
+            target = self._int(op, "target")
+            if target != PROC_NULL:
+                self._check_peer(op, target)
+                self._record(COp(kind="send", mech="p2p", line=op.line,
+                                 target=target, source=self.trace.rank,
+                                 tag=self._int(op, "tag", 0)))
+            return ReqVal(uid=next(_req_ids), mech="p2p_send", win=None,
+                          source=self.trace.rank,
+                          tag=self._int(op, "tag", 0), expected=1,
+                          line=op.line)
+        if kind == "recv":
+            source = self._int(op, "source", ANY_SOURCE)
+            if source == PROC_NULL:
+                return sym.UNKNOWN
+            self._record(COp(kind="recv", mech="p2p", line=op.line,
+                             source=source,
+                             tag=self._int(op, "tag", ANY_TAG)))
+            return sym.UNKNOWN
+        if kind == "irecv":
+            return ReqVal(uid=next(_req_ids), mech="p2p_recv", win=None,
+                          source=self._int(op, "source", ANY_SOURCE),
+                          tag=self._int(op, "tag", ANY_TAG), expected=1,
+                          line=op.line)
+        if kind == "sendrecv":
+            target = self._int(op, "target")
+            if target != PROC_NULL:
+                self._check_peer(op, target)
+                self._record(COp(kind="send", mech="p2p", line=op.line,
+                                 target=target, source=self.trace.rank,
+                                 tag=self._int(op, "sendtag", 0)))
+            source = self._int(op, "source", ANY_SOURCE)
+            if source != PROC_NULL:
+                self._record(COp(kind="recv", mech="p2p", line=op.line,
+                                 source=source,
+                                 tag=self._int(op, "tag", ANY_TAG)))
+            return sym.UNKNOWN
+        if kind == "comm_wait":
+            req = self._req_of(op)
+            if req.mech == "p2p_recv":
+                self._record(COp(kind="recv", mech="p2p", line=op.line,
+                                 source=req.source, tag=req.tag,
+                                 req=req))
+            return sym.UNKNOWN
+        if kind in ("list_append", "list_extend"):
+            self._list_mutate(op)
+            return None
+        # anything else is outside the modelled fragment
+        raise _Inexact(f"line {op.line}: unmodelled op {kind}")
+
+    def _make_req(self, op: ir.Op, mech: str) -> ReqVal:
+        source = self._int(op, "source", ANY_SOURCE)
+        tag = self._int(op, "tag", ANY_TAG)
+        expected = self._int(op, "expected", 1)
+        if expected < 0:
+            raise _Inexact(f"line {op.line}: negative expected_count")
+        if source not in (ANY_SOURCE,) and \
+                not 0 <= source < self.trace.size:
+            raise _Inexact(f"line {op.line}: source {source} out of "
+                           f"range for size {self.trace.size}")
+        return ReqVal(uid=next(_req_ids), mech=mech, win=self._win(op),
+                      source=source, tag=tag, expected=expected,
+                      line=op.line)
+
+    def _req_of(self, op: ir.Op) -> ReqVal:
+        expr = op.args.get("req")
+        value = expr.evaluate(self.env) if expr is not None else None
+        if not isinstance(value, ReqVal):
+            raise _Inexact(f"{op.kind} line {op.line}: unresolved request")
+        return value
+
+    def _reqs_of(self, op: ir.Op) -> list[ReqVal]:
+        expr = op.args.get("reqs")
+        value = expr.evaluate(self.env) if expr is not None else None
+        if not sym.is_known(value) or \
+                not isinstance(value, (list, tuple)) or \
+                not all(isinstance(v, ReqVal) for v in value):
+            raise _Inexact(f"{op.kind} line {op.line}: unresolved "
+                           f"request list")
+        return list(value)
+
+    def _check_peer(self, op: ir.Op, peer: int) -> None:
+        if not 0 <= peer < self.trace.size:
+            raise _Inexact(f"line {op.line}: peer {peer} out of range "
+                           f"for size {self.trace.size}")
+
+    def _list_mutate(self, op: ir.Op) -> None:
+        base_expr = op.args.get("base")
+        item_expr = op.args.get("item")
+        if base_expr is None or item_expr is None:
+            return
+        base = base_expr.evaluate(self.env)
+        item = item_expr.evaluate(self.env)
+        if not isinstance(base, list):
+            if isinstance(base_expr, sym.Name):
+                self.env.store(base_expr.id, sym.UNKNOWN)
+            return
+        if op.kind == "list_append":
+            base.append(item)
+        elif sym.is_known(item) and isinstance(item, (list, tuple)):
+            base.extend(item)
+        elif isinstance(base_expr, sym.Name):
+            self.env.store(base_expr.id, sym.UNKNOWN)
+
+
+def instantiate(program: ir.Program, size: int) -> list[Trace]:
+    """Run ``program`` abstractly for every rank of a ``size``-rank job."""
+    return [_Interp(program, rank, size).run() for rank in range(size)]

@@ -1,0 +1,190 @@
+"""The per-rank protocol IR.
+
+A rank program is lifted into a tree of statements whose expressions are
+:mod:`repro.analysis.symbols` terms.  Communication API calls become
+:class:`Op` nodes carrying the symbolic arguments the checkers care
+about (window, peer rank, tag, threshold); everything the verifier
+cannot model becomes an :class:`Unknown` statement, which downgrades the
+affected checks instead of guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.symbols import Const, SymExpr
+
+# ---------------------------------------------------------------------------
+# op vocabulary
+# ---------------------------------------------------------------------------
+
+#: notified-access / counter / overwriting posts (origin side)
+POST_KINDS = frozenset({
+    "put_notify", "get_notify", "accumulate_notify", "flush_notify",
+    "put_counted", "write_notify",
+})
+
+#: blocking completion calls (target side)
+WAIT_KINDS = frozenset({
+    "na_wait", "na_waitall", "na_waitany", "counter_wait", "waitsome",
+})
+
+#: polling calls that consume notifications nondeterministically
+POLL_KINDS = frozenset({
+    "na_test", "na_testany", "na_probe", "counter_test",
+})
+
+#: plain (non-notified) window accesses that need an open epoch
+EPOCH_ACCESS_KINDS = frozenset({
+    "win_put", "win_get", "win_accumulate", "win_fetch_and_op",
+    "win_compare_and_swap", "put_typed", "get_typed",
+})
+
+#: ops that complete pending origin-side work on a window
+COMPLETION_KINDS = frozenset({
+    "win_flush", "win_flush_local", "win_flush_all",
+    "win_flush_local_all", "win_fence", "win_fence_end", "win_complete",
+    "win_unlock", "win_unlock_all", "win_free", "flush_notify",
+})
+
+
+@dataclass
+class Op:
+    """One recognized runtime call, with symbolic arguments.
+
+    ``args`` maps role names (``win``, ``target``, ``source``, ``tag``,
+    ``expected``, ``req``, ``buf``, ...) to symbolic expressions.
+    """
+
+    kind: str
+    args: dict[str, SymExpr] = field(default_factory=dict)
+    line: int = 0
+    #: mode string of a view op ("rw", "r", "raw"), when syntactic
+    mode: str | None = None
+
+    def arg(self, name: str) -> SymExpr:
+        return self.args.get(name, Const(None))
+
+    def pretty(self) -> str:
+        inner = ", ".join(f"{k}={v.pretty()}"
+                          for k, v in sorted(self.args.items()))
+        return f"{self.kind}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    """``targets = value``; ``value`` is an expression or an Op result."""
+
+    #: assignment target pattern: a Name/Sub/TupleExpr of Names
+    target: SymExpr = field(default_factory=Const)
+    value: SymExpr | Op = field(default_factory=Const)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    value: SymExpr | Op = field(default_factory=Const)
+
+
+@dataclass
+class If(Stmt):
+    cond: SymExpr = field(default_factory=Const)
+    body: list[Stmt] = field(default_factory=list)
+    orelse: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    target: SymExpr = field(default_factory=Const)
+    iter: SymExpr = field(default_factory=Const)
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: SymExpr = field(default_factory=Const)
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    pass
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class YieldRaw(Stmt):
+    """A plain ``yield <expr>`` (not ``yield from``).
+
+    ``is_literal`` marks yields of constants — never a simulator Event,
+    which the engine rejects at run time (the non-Event-yield lint).
+    """
+
+    value: SymExpr = field(default_factory=Const)
+    is_literal: bool = False
+
+
+@dataclass
+class Unknown(Stmt):
+    """A statement outside the modelled fragment."""
+
+    reason: str = ""
+
+
+@dataclass
+class Program:
+    """One extracted rank program."""
+
+    name: str
+    qualname: str
+    path: str
+    line: int
+    #: names of parameters after ``ctx``
+    params: list[str] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+    #: communicator sizes to instantiate, from ``run_ranks`` discovery or
+    #: an ``# analyze: nranks=N`` annotation (empty = unknown size)
+    sizes: list[int] = field(default_factory=list)
+    #: values for the extra parameters (from ``# analyze: args=(...)``)
+    arg_values: list[object] = field(default_factory=list)
+    #: lines carrying a ``# protocol: raw-ok`` blessing
+    raw_ok_lines: frozenset[int] = frozenset()
+    #: ``# analyze: skip`` disables the whole program
+    skipped: bool = False
+    #: module-level constants visible to the program
+    module_consts: dict[str, object] = field(default_factory=dict)
+
+    def walk_ops(self) -> list[Op]:
+        """All Op nodes in the tree, in source order."""
+        out: list[Op] = []
+
+        def visit(stmts: list[Stmt]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, (Assign, ExprStmt)) and \
+                        isinstance(stmt.value, Op):
+                    out.append(stmt.value)
+                elif isinstance(stmt, If):
+                    visit(stmt.body)
+                    visit(stmt.orelse)
+                elif isinstance(stmt, (For, While)):
+                    visit(stmt.body)
+
+        visit(self.body)
+        return out

@@ -1,0 +1,39 @@
+"""Pytest integration for the static protocol verifier.
+
+Registered from the repository's root ``conftest.py`` via
+``pytest_plugins``.  Passing ``--analyze`` runs the verifier over the
+standard trees (``src/repro/apps``, ``examples``, ``benchmarks``)
+before collection and aborts the session on any finding — the local
+equivalent of the CI ``analyze`` job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: trees the opt-in session gate verifies, relative to the rootdir
+DEFAULT_TREES = ("src/repro/apps", "examples", "benchmarks")
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--analyze", action="store_true", default=False,
+        help="run the repro.analysis static protocol verifier over "
+             "src/repro/apps, examples and benchmarks before the tests "
+             "and fail the session on any finding")
+
+
+def pytest_sessionstart(session: pytest.Session) -> None:
+    if not session.config.getoption("--analyze"):
+        return
+    from repro.analysis import analyze_paths
+
+    root = session.config.rootpath
+    trees = [str(root / tree) for tree in DEFAULT_TREES
+             if (root / tree).exists()]
+    findings = analyze_paths(trees)
+    if findings:
+        lines = "\n".join(f.format() for f in findings)
+        pytest.exit(
+            f"repro.analysis found {len(findings)} protocol "
+            f"finding(s):\n{lines}", returncode=1)

@@ -1,0 +1,58 @@
+"""Findings and their presentation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a checker.
+
+    ``check`` is a stable dotted identifier (``budget.starved-wait``,
+    ``deadlock.wait-cycle``, ``epoch.no-epoch``, ...) that tests and CI
+    match on.
+    """
+
+    check: str
+    path: str
+    line: int
+    program: str
+    message: str
+    ranks: tuple[int, ...] = ()
+    size: int | None = None
+
+    def format(self) -> str:
+        where = f"{self.path}:{self.line}"
+        extra = []
+        if self.ranks:
+            extra.append("ranks " + ",".join(str(r) for r in self.ranks))
+        if self.size is not None:
+            extra.append(f"nranks={self.size}")
+        suffix = f" [{'; '.join(extra)}]" if extra else ""
+        return (f"{where}: {self.check}: {self.message} "
+                f"(in {self.program}){suffix}")
+
+
+@dataclass
+class Report:
+    """Accumulates findings across files, deduplicated and sorted."""
+
+    findings: list[Finding] = field(default_factory=list)
+    _seen: set[Finding] = field(default_factory=set)
+
+    def add(self, finding: Finding) -> None:
+        if finding not in self._seen:
+            self._seen.add(finding)
+            self.findings.append(finding)
+
+    def extend(self, findings: list[Finding]) -> None:
+        for finding in findings:
+            self.add(finding)
+
+    def sorted(self) -> list[Finding]:
+        return sorted(self.findings,
+                      key=lambda f: (f.path, f.line, f.check, f.ranks))
+
+    def format(self) -> str:
+        return "\n".join(f.format() for f in self.sorted())

@@ -1,0 +1,430 @@
+"""Symbolic expression domain for the static protocol verifier.
+
+The extractor lifts Python expressions appearing in rank programs into
+this small language instead of keeping raw AST nodes: rank arithmetic
+(``rank + 1``, ``(rank - 1) % size``, neighbour expressions) stays fully
+symbolic in the IR and is only evaluated when a checker instantiates the
+program for a concrete ``(rank, size)`` pair.
+
+Evaluation is total: anything outside the modelled fragment evaluates to
+the :data:`UNKNOWN` sentinel, which checkers treat as "cannot prove
+anything here" — the verifier never guesses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class _Unknown:
+    """Singleton for values the verifier cannot resolve statically."""
+
+    _instance: "_Unknown | None" = None
+
+    def __new__(cls) -> "_Unknown":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<unknown>"
+
+    def __bool__(self) -> bool:  # pragma: no cover - defensive
+        raise TypeError("UNKNOWN has no truth value; test with is_known()")
+
+
+#: the single "statically unresolvable" value
+UNKNOWN = _Unknown()
+
+
+def is_known(value: Any) -> bool:
+    """True when ``value`` (including its elements) is fully resolved."""
+    if value is UNKNOWN:
+        return False
+    if isinstance(value, (list, tuple)):
+        return all(is_known(v) for v in value)
+    if isinstance(value, dict):
+        return all(is_known(k) and is_known(v) for k, v in value.items())
+    return True
+
+
+class Env:
+    """A mutable name environment for one instantiation walk."""
+
+    def __init__(self, rank: int, size: int,
+                 globals_: dict[str, Any] | None = None):
+        self.rank = rank
+        self.size = size
+        self.globals = dict(globals_ or {})
+        self.locals: dict[str, Any] = {}
+
+    def load(self, name: str) -> Any:
+        if name in self.locals:
+            return self.locals[name]
+        if name in self.globals:
+            return self.globals[name]
+        return UNKNOWN
+
+    def store(self, name: str, value: Any) -> None:
+        self.locals[name] = value
+
+
+# ---------------------------------------------------------------------------
+# expression nodes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SymExpr:
+    """Base class: a symbolic expression with a total ``evaluate``."""
+
+    def evaluate(self, env: Env) -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def pretty(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+@dataclass(frozen=True)
+class Const(SymExpr):
+    value: Any = None
+
+    def evaluate(self, env: Env) -> Any:
+        return self.value
+
+    def pretty(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Rank(SymExpr):
+    """The calling rank (``ctx.rank``)."""
+
+    def evaluate(self, env: Env) -> Any:
+        return env.rank
+
+    def pretty(self) -> str:
+        return "rank"
+
+
+@dataclass(frozen=True)
+class Size(SymExpr):
+    """The communicator size (``ctx.size``)."""
+
+    def evaluate(self, env: Env) -> Any:
+        return env.size
+
+    def pretty(self) -> str:
+        return "size"
+
+
+@dataclass(frozen=True)
+class Name(SymExpr):
+    id: str = ""
+
+    def evaluate(self, env: Env) -> Any:
+        return env.load(self.id)
+
+    def pretty(self) -> str:
+        return self.id
+
+
+@dataclass(frozen=True)
+class Opaque(SymExpr):
+    """An expression outside the modelled fragment."""
+
+    reason: str = ""
+
+    def evaluate(self, env: Env) -> Any:
+        return UNKNOWN
+
+    def pretty(self) -> str:
+        return f"?{self.reason}?"
+
+
+_BIN_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "**": lambda a, b: a ** b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+}
+
+_CMP_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "in": lambda a, b: a in b,
+    "not in": lambda a, b: a not in b,
+    "is": lambda a, b: a is b,
+    "is not": lambda a, b: a is not b,
+}
+
+
+@dataclass(frozen=True)
+class Bin(SymExpr):
+    op: str = "+"
+    left: SymExpr = field(default_factory=Const)
+    right: SymExpr = field(default_factory=Const)
+
+    def evaluate(self, env: Env) -> Any:
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if not is_known(left) or not is_known(right):
+            return UNKNOWN
+        try:
+            return _BIN_OPS[self.op](left, right)
+        except Exception:
+            return UNKNOWN
+
+    def pretty(self) -> str:
+        return f"({self.left.pretty()} {self.op} {self.right.pretty()})"
+
+
+@dataclass(frozen=True)
+class Un(SymExpr):
+    op: str = "-"
+    operand: SymExpr = field(default_factory=Const)
+
+    def evaluate(self, env: Env) -> Any:
+        value = self.operand.evaluate(env)
+        if not is_known(value):
+            return UNKNOWN
+        try:
+            if self.op == "-":
+                return -value
+            if self.op == "+":
+                return +value
+            if self.op == "~":
+                return ~value
+            if self.op == "not":
+                return not value
+        except Exception:
+            return UNKNOWN
+        return UNKNOWN  # pragma: no cover - exhaustive ops above
+
+    def pretty(self) -> str:
+        return f"({self.op} {self.operand.pretty()})"
+
+
+@dataclass(frozen=True)
+class Cmp(SymExpr):
+    op: str = "=="
+    left: SymExpr = field(default_factory=Const)
+    right: SymExpr = field(default_factory=Const)
+
+    def evaluate(self, env: Env) -> Any:
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if not is_known(left) or not is_known(right):
+            return UNKNOWN
+        try:
+            return _CMP_OPS[self.op](left, right)
+        except Exception:
+            return UNKNOWN
+
+    def pretty(self) -> str:
+        return f"({self.left.pretty()} {self.op} {self.right.pretty()})"
+
+
+@dataclass(frozen=True)
+class Bool(SymExpr):
+    op: str = "and"
+    parts: tuple[SymExpr, ...] = ()
+
+    def evaluate(self, env: Env) -> Any:
+        want_all = self.op == "and"
+        saw_unknown = False
+        for part in self.parts:
+            value = part.evaluate(env)
+            if not is_known(value):
+                saw_unknown = True
+                continue
+            if want_all and not value:
+                return value
+            if not want_all and value:
+                return value
+        if saw_unknown:
+            return UNKNOWN
+        return want_all
+
+    def pretty(self) -> str:
+        return "(" + f" {self.op} ".join(p.pretty()
+                                         for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class IfExp(SymExpr):
+    cond: SymExpr = field(default_factory=Const)
+    then: SymExpr = field(default_factory=Const)
+    orelse: SymExpr = field(default_factory=Const)
+
+    def evaluate(self, env: Env) -> Any:
+        cond = self.cond.evaluate(env)
+        if not is_known(cond):
+            return UNKNOWN
+        return (self.then if cond else self.orelse).evaluate(env)
+
+    def pretty(self) -> str:
+        return (f"({self.then.pretty()} if {self.cond.pretty()} "
+                f"else {self.orelse.pretty()})")
+
+
+@dataclass(frozen=True)
+class TupleExpr(SymExpr):
+    items: tuple[SymExpr, ...] = ()
+
+    def evaluate(self, env: Env) -> Any:
+        return tuple(item.evaluate(env) for item in self.items)
+
+    def pretty(self) -> str:
+        return "(" + ", ".join(i.pretty() for i in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class ListExpr(SymExpr):
+    items: tuple[SymExpr, ...] = ()
+
+    def evaluate(self, env: Env) -> Any:
+        return [item.evaluate(env) for item in self.items]
+
+    def pretty(self) -> str:
+        return "[" + ", ".join(i.pretty() for i in self.items) + "]"
+
+
+@dataclass(frozen=True)
+class DictExpr(SymExpr):
+    keys: tuple[SymExpr, ...] = ()
+    values: tuple[SymExpr, ...] = ()
+
+    def evaluate(self, env: Env) -> Any:
+        out: dict[Any, Any] = {}
+        for key_expr, value_expr in zip(self.keys, self.values):
+            key = key_expr.evaluate(env)
+            if not is_known(key):
+                return UNKNOWN
+            out[key] = value_expr.evaluate(env)
+        return out
+
+    def pretty(self) -> str:
+        inner = ", ".join(f"{k.pretty()}: {v.pretty()}"
+                          for k, v in zip(self.keys, self.values))
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class Sub(SymExpr):
+    """Subscript load ``value[index]`` (also plain slices)."""
+
+    value: SymExpr = field(default_factory=Const)
+    index: SymExpr = field(default_factory=Const)
+
+    def evaluate(self, env: Env) -> Any:
+        base = self.value.evaluate(env)
+        index = self.index.evaluate(env)
+        if not is_known(base) or not is_known(index):
+            return UNKNOWN
+        try:
+            return base[index]
+        except Exception:
+            return UNKNOWN
+
+    def pretty(self) -> str:
+        return f"{self.value.pretty()}[{self.index.pretty()}]"
+
+
+#: pure builtins the evaluator may call
+_PURE_FUNCS: dict[str, Callable[..., Any]] = {
+    "range": range,
+    "len": len,
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "int": int,
+    "float": float,
+    "bool": bool,
+    "divmod": divmod,
+    "sum": sum,
+    "sorted": sorted,
+    "list": list,
+    "tuple": tuple,
+    "set": set,
+    "reversed": lambda x: list(reversed(x)),
+    "enumerate": lambda x: list(enumerate(x)),
+    "zip": lambda *xs: list(zip(*xs)),
+}
+
+#: pure container methods the evaluator may call
+_PURE_METHODS = ("items", "keys", "values", "get", "index", "count",
+                 "copy")
+
+
+@dataclass(frozen=True)
+class PureCall(SymExpr):
+    """Call of a whitelisted pure builtin (``range``, ``len``, ...)."""
+
+    func: str = "len"
+    args: tuple[SymExpr, ...] = ()
+
+    def evaluate(self, env: Env) -> Any:
+        args = [a.evaluate(env) for a in self.args]
+        if not all(is_known(a) for a in args):
+            return UNKNOWN
+        fn = _PURE_FUNCS.get(self.func)
+        if fn is None:
+            return UNKNOWN
+        try:
+            result = fn(*args)
+        except Exception:
+            return UNKNOWN
+        if isinstance(result, range):
+            if len(result) > 100_000:
+                return UNKNOWN
+            return list(result)
+        return result
+
+    def pretty(self) -> str:
+        return (f"{self.func}("
+                + ", ".join(a.pretty() for a in self.args) + ")")
+
+
+@dataclass(frozen=True)
+class MethodCall(SymExpr):
+    """Pure method call on a container (``d.items()``, ``xs.copy()``)."""
+
+    base: SymExpr = field(default_factory=Const)
+    method: str = "items"
+    args: tuple[SymExpr, ...] = ()
+
+    def evaluate(self, env: Env) -> Any:
+        base = self.base.evaluate(env)
+        args = [a.evaluate(env) for a in self.args]
+        if not is_known(base) or not all(is_known(a) for a in args):
+            return UNKNOWN
+        if self.method not in _PURE_METHODS:
+            return UNKNOWN
+        try:
+            result = getattr(base, self.method)(*args)
+        except Exception:
+            return UNKNOWN
+        if self.method in ("items", "keys", "values"):
+            return list(result)
+        return result
+
+    def pretty(self) -> str:
+        return (f"{self.base.pretty()}.{self.method}("
+                + ", ".join(a.pretty() for a in self.args) + ")")

@@ -16,13 +16,13 @@ of metrics in simulated microseconds, plus the rank programs themselves for
 reuse and testing.
 """
 
-from repro.apps.pingpong import run_pingpong, PINGPONG_MODES
-from repro.apps.overlap import run_overlap, OVERLAP_MODES
-from repro.apps.stencil import run_stencil, STENCIL_MODES
-from repro.apps.tree import run_tree_reduction, TREE_MODES
-from repro.apps.cholesky import run_cholesky, CHOLESKY_MODES
-from repro.apps.halo2d import run_halo2d, HALO2D_MODES
-from repro.apps.particles import run_particles, PARTICLE_MODES
+from repro.apps.cholesky import CHOLESKY_MODES, run_cholesky
+from repro.apps.halo2d import HALO2D_MODES, run_halo2d
+from repro.apps.overlap import OVERLAP_MODES, run_overlap
+from repro.apps.particles import PARTICLE_MODES, run_particles
+from repro.apps.pingpong import PINGPONG_MODES, run_pingpong
+from repro.apps.stencil import STENCIL_MODES, run_stencil
+from repro.apps.tree import TREE_MODES, run_tree_reduction
 
 __all__ = [
     "run_pingpong",

@@ -16,11 +16,16 @@ problem the three variants solve differently:
   the index from the returned status.
 """
 
-from repro.apps.cholesky.driver import run_cholesky, CHOLESKY_MODES
-from repro.apps.cholesky.kernels import (potrf, trsm, gemm_update,
-                                         syrk_update, FLOPS)
-from repro.apps.cholesky.matrix import TileMatrix
 from repro.apps.cholesky.bcast_tree import tree_children, tree_parent
+from repro.apps.cholesky.driver import CHOLESKY_MODES, run_cholesky
+from repro.apps.cholesky.kernels import (
+    FLOPS,
+    gemm_update,
+    potrf,
+    syrk_update,
+    trsm,
+)
+from repro.apps.cholesky.matrix import TileMatrix
 
 __all__ = [
     "run_cholesky",

@@ -9,15 +9,20 @@ trailing update to its local columns once the panel is complete.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.apps.cholesky.bcast_tree import tree_children
-from repro.apps.cholesky.kernels import (flops_gemm, flops_potrf,
-                                         flops_syrk, flops_trsm, potrf,
-                                         syrk_update, total_flops, trsm,
-                                         gemm_update)
+from repro.apps.cholesky.kernels import (
+    flops_gemm,
+    flops_potrf,
+    flops_syrk,
+    flops_trsm,
+    gemm_update,
+    potrf,
+    syrk_update,
+    total_flops,
+    trsm,
+)
 from repro.apps.cholesky.matrix import TileMatrix
 from repro.cluster import ClusterConfig, run_ranks
 from repro.errors import ReproError
@@ -203,7 +208,7 @@ def _cholesky_program(ctx, mode: str, ntiles: int, b: int, verify: bool,
 def run_cholesky(mode: str, nranks: int, ntiles: int, b: int = 32,
                  verify: bool = False, seed: int = 7,
                  variant: str = "right",
-                 config: Optional[ClusterConfig] = None) -> dict:
+                 config: ClusterConfig | None = None) -> dict:
     """Run the tiled Cholesky; returns timing and GFlop/s metrics.
 
     ``variant`` selects the update schedule: ``"right"`` (eager trailing

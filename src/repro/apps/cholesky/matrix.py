@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -29,7 +28,7 @@ class TileMatrix:
         self.rank = rank
         self.nranks = nranks
         self.materialized = materialize
-        self.tiles: dict[tuple[int, int], Optional[np.ndarray]] = {}
+        self.tiles: dict[tuple[int, int], np.ndarray | None] = {}
         full = make_spd(ntiles * b, seed=seed) if materialize else None
         for j in range(ntiles):
             if j % nranks != rank:

@@ -13,7 +13,6 @@ the neighbour group), ``na`` (typed ``put_notify`` + counting requests).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -221,7 +220,7 @@ def _halo2d_program(ctx, mode: str, g: int, iters: int, verify: bool):
 
 def run_halo2d(mode: str, nranks: int, g: int, iters: int = 4,
                verify: bool = False,
-               config: Optional[ClusterConfig] = None) -> dict:
+               config: ClusterConfig | None = None) -> dict:
     """Run the 2D Jacobi halo exchange; returns timing and MLUP/s."""
     if mode not in HALO2D_MODES:
         raise ReproError(f"unknown halo2d mode {mode!r}; "

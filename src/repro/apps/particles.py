@@ -27,7 +27,6 @@ step against a serial reference.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -178,7 +177,7 @@ def _particles_program(ctx, mode: str, per_rank: int, steps: int,
 def run_particles(mode: str, nranks: int, per_rank: int = 64,
                   steps: int = 8, dt: float = 0.3, seed: int = 5,
                   verify: bool = False,
-                  config: Optional[ClusterConfig] = None) -> dict:
+                  config: ClusterConfig | None = None) -> dict:
     """Run the dynamic particle exchange; returns timing and checks."""
     if mode not in PARTICLE_MODES:
         raise ReproError(f"unknown particles mode {mode!r}; "

@@ -21,7 +21,6 @@ model and check the global corner value against a serial reference.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -221,7 +220,7 @@ def _stencil_program(ctx, mode: str, rows: int, cols: int, iters: int,
 
 def run_stencil(mode: str, nranks: int, rows: int, cols: int,
                 iters: int = 1, verify: bool = False,
-                config: Optional[ClusterConfig] = None) -> dict:
+                config: ClusterConfig | None = None) -> dict:
     """Run the pipelined stencil; returns timing and GMOPS metrics."""
     if mode not in STENCIL_MODES:
         raise ReproError(f"unknown stencil mode {mode!r}; "

@@ -17,7 +17,6 @@ Modes
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -107,7 +106,7 @@ def _tree_program(ctx, mode: str, arity: int, elems: int, reps: int):
 
 def run_tree_reduction(mode: str, nranks: int, arity: int = 16,
                        elems: int = 1, reps: int = 5,
-                       config: Optional[ClusterConfig] = None) -> dict:
+                       config: ClusterConfig | None = None) -> dict:
     """Run the k-ary tree reduction; returns the mean reduction time."""
     if mode not in TREE_MODES:
         raise ReproError(f"unknown tree mode {mode!r}; "

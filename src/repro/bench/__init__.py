@@ -10,9 +10,10 @@ counts so the pure-Python simulation stays fast; shapes (who wins, by what
 factor, where crossovers fall) are preserved.
 """
 
-from repro.bench.report import Table, format_table
 from repro.bench.figures import (
+    ALL_EXPERIMENTS,
     fig1_stencil_strong,
+    fig2_transactions,
     fig3a_pingpong_put,
     fig3b_pingpong_get,
     fig3c_pingpong_shm,
@@ -20,11 +21,10 @@ from repro.bench.figures import (
     fig4b_stencil_weak,
     fig4c_tree,
     fig5_cholesky,
-    table1_loggp,
     sec5_cache_misses,
-    fig2_transactions,
-    ALL_EXPERIMENTS,
+    table1_loggp,
 )
+from repro.bench.report import Table, format_table
 
 __all__ = [
     "Table",

@@ -21,15 +21,16 @@ per rank, and runs *rank programs* — generator functions of one
 from __future__ import annotations
 
 import os
+from collections.abc import Callable, Generator, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Optional, Sequence
+from typing import Any
 
 from repro.core.counters import CounterEngine
-from repro.core.overwriting import OverwriteEngine
 from repro.core.engine import NotifyEngine
+from repro.core.overwriting import OverwriteEngine
 from repro.errors import RaceError, SimulationError
 from repro.faults import FaultPlan
-from repro.memory.address import AddressSpace, DEFAULT_SPACE
+from repro.memory.address import DEFAULT_SPACE, AddressSpace
 from repro.memory.cache import CacheModel
 from repro.mpi.comm import Communicator
 from repro.mpi.endpoint import MpiEndpoint
@@ -49,7 +50,7 @@ class ClusterConfig:
     nranks: int = 2
     ranks_per_node: int = 1
     #: dragonfly grouping of nodes (None = flat network)
-    nodes_per_group: Optional[int] = None
+    nodes_per_group: int | None = None
     params: TransportParams = field(default_factory=TransportParams)
     seed: int = 42
     trace: bool = False
@@ -60,7 +61,7 @@ class ClusterConfig:
     flops_per_us: float = 8000.0
     detect_deadlock: bool = True
     #: optional fault-injection plan (None = perfectly reliable fabric)
-    faults: Optional[FaultPlan] = None
+    faults: FaultPlan | None = None
     #: happens-before race detection (see ``repro.sanitizer``).  Off by
     #: default: the tracker adds no events, so schedules and golden values
     #: are identical either way, but shadow bookkeeping costs CPU time.
@@ -152,7 +153,7 @@ class Rank:
 class Cluster:
     """A simulated machine plus the full communication stack."""
 
-    def __init__(self, config: Optional[ClusterConfig] = None, **kw):
+    def __init__(self, config: ClusterConfig | None = None, **kw):
         if config is None:
             config = ClusterConfig(**kw)
         elif kw:
@@ -208,7 +209,7 @@ class Cluster:
     def run(self,
             program: Callable[[Rank], Generator] | Sequence[Callable],
             args: Sequence[Any] = (),
-            until: Optional[float] = None) -> list[Any]:
+            until: float | None = None) -> list[Any]:
         """Run one program on every rank (or one program per rank).
 
         Returns the per-rank return values.  A cluster is single-use: build
@@ -277,7 +278,7 @@ class Cluster:
 def run_ranks(nranks: int,
               program: Callable[[Rank], Generator] | Sequence[Callable],
               args: Sequence[Any] = (),
-              config: Optional[ClusterConfig] = None,
+              config: ClusterConfig | None = None,
               **kw) -> tuple[list[Any], Cluster]:
     """Convenience: build a cluster, run ``program`` on ``nranks`` ranks.
 

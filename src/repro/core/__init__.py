@@ -16,10 +16,10 @@ The matching path is instrumented against the rank's cache-line model so the
 "two compulsory cache misses" claim of §V is measured, not assumed.
 """
 
-from repro.core.nrequest import NotifyRequest
+from repro.core.counters import CounterEngine, CounterRequest
 from repro.core.engine import NotifyEngine
 from repro.core.matching import UnexpectedQueue, UqEntry
-from repro.core.counters import CounterEngine, CounterRequest
+from repro.core.nrequest import NotifyRequest
 from repro.core.overwriting import NotificationSpace, OverwriteEngine
 
 __all__ = [

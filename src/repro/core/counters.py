@@ -24,7 +24,7 @@ Wildcards are rejected: counter routing is static by design.
 
 from __future__ import annotations
 
-from typing import Generator
+from collections.abc import Generator
 
 import numpy as np
 

@@ -13,13 +13,13 @@ from :class:`~repro.network.loggp.TransportParams`.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from collections.abc import Generator
 
 import numpy as np
 
-from repro.errors import MatchingError
 from repro.core.matching import UQ_SLOTS, UnexpectedQueue
 from repro.core.nrequest import NotifyRequest
+from repro.errors import MatchingError
 from repro.memory.cache import CACHE_LINE
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 from repro.mpi.status import Status
@@ -82,7 +82,7 @@ class NotifyEngine:
         return h
 
     def get_notify(self, win: Window, buf_region, target: int,
-                   target_disp: int = 0, nbytes: Optional[int] = None,
+                   target_disp: int = 0, nbytes: int | None = None,
                    tag: int = 0,
                    local_offset: int = 0) -> Generator[object, object,
                                                        OpHandle]:
@@ -235,7 +235,7 @@ class NotifyEngine:
 
     def probe(self, win: Window, source: int = ANY_SOURCE,
               tag: int = ANY_TAG) -> Generator[object, object,
-                                               Optional[Status]]:
+                                               Status | None]:
         """Nonblocking probe of queued notifications (the paper notes probe
         semantics "can be added trivially")."""
         # Pull anything pending off the hardware queues into the UQ first.
@@ -262,7 +262,7 @@ class NotifyEngine:
     # multi-request completion
     # ------------------------------------------------------------------
     def testany(self, reqs: list[NotifyRequest]
-                ) -> Generator[object, object, Optional[int]]:
+                ) -> Generator[object, object, int | None]:
         """One matching pass over ``reqs``; returns the index of the first
         completed request, or None.
 

@@ -13,7 +13,6 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional
 
 from repro.errors import MatchingError
 from repro.memory.address import Region
@@ -51,7 +50,7 @@ class UnexpectedQueue:
         self.region = region
         self.cache = cache
         self.slots = slots
-        self._entries: Deque[UqEntry] = deque()
+        self._entries: deque[UqEntry] = deque()
         # Free-slot list, not a rotating cursor: entries are removed in
         # match order, not FIFO order, so after wraparound a cursor would
         # hand a live entry's slot to a new one and corrupt the per-slot
@@ -82,7 +81,7 @@ class UnexpectedQueue:
         self.cache.touch(slot_addr, CACHE_LINE, label="na-uq-append")
         return entry
 
-    def find_and_remove(self, req) -> Optional[UqEntry]:
+    def find_and_remove(self, req) -> UqEntry | None:
         """Oldest entry matching ``req``; touches scanned lines."""
         # Touching the head (pointer + first slots) is the one compulsory
         # queue miss; scanning further entries touches their slots.
@@ -98,8 +97,8 @@ class UnexpectedQueue:
                 return entry
         return None
 
-    def peek_match(self, win_id: Optional[int], source: int,
-                   tag: int) -> Optional[UqEntry]:
+    def peek_match(self, win_id: int | None, source: int,
+                   tag: int) -> UqEntry | None:
         """Probe-style lookup without consuming (no cache charging)."""
         for entry in self._entries:
             if win_id is not None and entry.win_id != win_id:

@@ -8,7 +8,6 @@ touches of it are measured against the cache model.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import MatchingError
 from repro.memory.address import Region
@@ -41,7 +40,7 @@ class NotifyRequest:
         self.active = False
         self.region = region
         self.addr = region.addr
-        self.last_status: Optional[Status] = None
+        self.last_status: Status | None = None
         self.freed = False
         self.starts = 0
         self.completions = 0

@@ -21,7 +21,7 @@ reasons the paper gives for the queueing design.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from collections.abc import Generator
 
 import numpy as np
 
@@ -98,7 +98,7 @@ class OverwriteEngine:
         return space
 
     def waitsome(self, space: NotificationSpace, lo: int = 0,
-                 num: Optional[int] = None
+                 num: int | None = None
                  ) -> Generator[object, object, tuple[int, int]]:
         """Block until some register in ``[lo, lo+num)`` is nonzero;
         returns ``(slot, value)`` and resets the register.

@@ -30,8 +30,9 @@ both media.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from typing import Any
 
 from repro.errors import FaultError
 from repro.sim.rng import RngStream
@@ -62,7 +63,7 @@ class FaultPlan:
     backoff: float = 2.0            # exponential backoff factor
     dup_lag: float = 1.0            # µs, lag of the duplicate delivery
     detect_us: float = 50.0         # µs until an abandoned op is failed
-    seed: Optional[int] = None
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         for name in ("drop_prob", "dup_prob", "delay_prob", "stall_prob"):
@@ -121,7 +122,7 @@ class FaultInjector:
     """
 
     def __init__(self, plan: FaultPlan, root_seed: int,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Tracer | None = None):
         self.plan = plan
         seed = plan.seed if plan.seed is not None else root_seed
         self.rng = RngStream(seed, "faults")

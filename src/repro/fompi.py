@@ -15,7 +15,7 @@ window's disp units, exactly like the MPI calls.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from collections.abc import Generator
 
 import numpy as np
 
@@ -99,7 +99,7 @@ def Wait(ctx, request: NotifyRequest
 
 
 def Test(ctx, request: NotifyRequest
-         ) -> Generator[object, object, tuple[bool, Optional[Status]]]:
+         ) -> Generator[object, object, tuple[bool, Status | None]]:
     """MPI_Test; returns (flag, status or None)."""
     done = yield from ctx.na.test(request)
     return done, (request.last_status if done else None)

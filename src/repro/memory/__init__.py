@@ -11,8 +11,8 @@ paper: two compulsory misses per matched notification).
 """
 
 from repro.memory.address import AddressSpace, Region
-from repro.memory.cache import CacheModel, CacheStats, CACHE_LINE
-from repro.memory.xpmem import XpmemSegment, XpmemRegistry
+from repro.memory.cache import CACHE_LINE, CacheModel, CacheStats
+from repro.memory.xpmem import XpmemRegistry, XpmemSegment
 
 __all__ = [
     "AddressSpace",

@@ -13,7 +13,6 @@ simulated applications compute on real data.
 from __future__ import annotations
 
 import bisect
-from typing import Optional
 
 import numpy as np
 
@@ -59,7 +58,7 @@ class Region:
                            WRITE if write else READ)
 
     def ndarray(self, dtype=np.uint8, offset: int = 0,
-                count: Optional[int] = None,
+                count: int | None = None,
                 mode: str = "rw") -> np.ndarray:
         """A NumPy view of (part of) the region — writes are visible to RMA.
 

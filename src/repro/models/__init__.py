@@ -6,16 +6,16 @@ tests compare the simulator against.  :mod:`repro.models.calibration` fits
 L and G back out of simulated ping-pong measurements, regenerating Table I.
 """
 
+from repro.models.calibration import LogGPFit, fit_loggp
 from repro.models.performance import (
-    na_put_half_rtt,
-    na_get_half_rtt,
+    PROTOCOL_TRANSACTIONS,
     mp_eager_half_rtt,
     mp_rndv_half_rtt,
+    na_get_half_rtt,
+    na_put_half_rtt,
     onesided_pscw_half_rtt,
     raw_put_half_rtt,
-    PROTOCOL_TRANSACTIONS,
 )
-from repro.models.calibration import fit_loggp, LogGPFit
 
 __all__ = [
     "na_put_half_rtt",

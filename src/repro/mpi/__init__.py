@@ -15,25 +15,25 @@ queue, ordered matching on ``(source, tag)`` with ``ANY_SOURCE``/``ANY_TAG``
 wildcards, non-overtaking between same (source, tag) pairs.
 """
 
-from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL
-from repro.mpi.status import Status
-from repro.mpi.request import Request, SendRequest, RecvRequest
-from repro.mpi.endpoint import MpiEndpoint
-from repro.mpi.comm import Communicator
 from repro.mpi.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
     barrier,
     bcast,
-    reduce,
-    allreduce,
-    vendor_reduce,
-    gather,
-    scatter,
-    allgather,
-    alltoall,
     exscan,
-    scan,
+    gather,
+    reduce,
     reduce_scatter_block,
+    scan,
+    scatter,
+    vendor_reduce,
 )
+from repro.mpi.comm import Communicator
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL
+from repro.mpi.endpoint import MpiEndpoint
+from repro.mpi.request import RecvRequest, Request, SendRequest
+from repro.mpi.status import Status
 
 __all__ = [
     "ANY_SOURCE",

@@ -14,7 +14,6 @@ should stay below it.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -72,7 +71,7 @@ def _highest_pow2_below(n: int) -> int:
     return m >> 1
 
 
-def reduce(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
+def reduce(comm, sendbuf: np.ndarray, recvbuf: np.ndarray | None,
            root: int = 0, op=np.add, arity: int = 2,
            _tag: int = _REDUCE_TAG, _overhead_scale: float = 1.0):
     """k-ary tree reduction to ``root``; ``recvbuf`` required at root."""
@@ -107,7 +106,7 @@ def reduce(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
                 mpi_overhead=saved)
 
 
-def vendor_reduce(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
+def vendor_reduce(comm, sendbuf: np.ndarray, recvbuf: np.ndarray | None,
                   root: int = 0, op=np.add):
     """Stand-in for the vendor-optimized reduction of Figure 4c."""
     yield from reduce(comm, sendbuf, recvbuf, root, op, arity=2,
@@ -128,7 +127,7 @@ _ALLTOALL_TAG = COLL_TAG_BASE + 7
 _SCAN_TAG = COLL_TAG_BASE + 8
 
 
-def gather(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
+def gather(comm, sendbuf: np.ndarray, recvbuf: np.ndarray | None,
            root: int = 0):
     """Gather equal-size contributions to ``root``.
 
@@ -163,7 +162,7 @@ def gather(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
         yield from comm.send(sendbuf, root, _GATHER_TAG)
 
 
-def scatter(comm, sendbuf: Optional[np.ndarray], recvbuf: np.ndarray,
+def scatter(comm, sendbuf: np.ndarray | None, recvbuf: np.ndarray,
             root: int = 0):
     """Scatter equal-size rows of ``sendbuf`` (at root) to every rank."""
     rank, size = comm.rank, comm.size

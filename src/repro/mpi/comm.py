@@ -8,7 +8,7 @@ the group, and all collectives work unchanged on the sub-communicator.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from collections.abc import Generator
 
 import numpy as np
 
@@ -30,7 +30,7 @@ class Communicator:
     """
 
     def __init__(self, endpoint: MpiEndpoint, endpoints: list[MpiEndpoint],
-                 group: Optional[list[int]] = None, context: int = 0):
+                 group: list[int] | None = None, context: int = 0):
         self.endpoint = endpoint
         self._endpoints = endpoints
         self.context = context
@@ -148,7 +148,7 @@ class Communicator:
 
     def iprobe(self, source: int = ANY_SOURCE,
                tag: int = ANY_TAG) -> Generator[object, object,
-                                                Optional[Status]]:
+                                                Status | None]:
         src = source if source == ANY_SOURCE else self._world(source)
         status = yield from self.endpoint.iprobe(src, tag,
                                                  context=self.context)
@@ -156,8 +156,8 @@ class Communicator:
 
     # -- sub-communicators --------------------------------------------------
     def split(self, color: int,
-              key: Optional[int] = None,
-              ) -> Generator[object, object, Optional["Communicator"]]:
+              key: int | None = None,
+              ) -> Generator[object, object, "Communicator" | None]:
         """MPI_Comm_split: collective; ranks with equal ``color`` form a
         new communicator, ordered by ``(key, parent rank)``.
 
@@ -201,7 +201,7 @@ class Communicator:
         from repro.mpi.collectives import bcast
         yield from bcast(self, buf, root)
 
-    def reduce(self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
+    def reduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray | None,
                root: int = 0, op=np.add):
         from repro.mpi.collectives import reduce
         yield from reduce(self, sendbuf, recvbuf, root, op)

@@ -18,8 +18,8 @@ Supported constructors mirror the MPI core set:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

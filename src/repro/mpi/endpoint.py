@@ -27,8 +27,8 @@ mixed-protocol sends between one pair, which no benchmark here issues.)
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Generator
 from dataclasses import dataclass
-from typing import Generator, Optional
 
 import numpy as np
 
@@ -53,8 +53,8 @@ class _Unexpected:
     source: int
     tag: int
     nbytes: int
-    data: Optional[np.ndarray] = None   # eager payload snapshot
-    send_id: Optional[int] = None       # rendezvous send handle
+    data: np.ndarray | None = None   # eager payload snapshot
+    send_id: int | None = None       # rendezvous send handle
     context: int = 0                    # communicator context id
 
 
@@ -228,7 +228,7 @@ class MpiEndpoint:
             raise MatchingError(f"unknown unexpected kind {um.kind!r}")
 
     @staticmethod
-    def _write_user(buf: np.ndarray, raw: Optional[np.ndarray],
+    def _write_user(buf: np.ndarray, raw: np.ndarray | None,
                     nbytes: int) -> None:
         if raw is None or nbytes == 0:
             return
@@ -270,7 +270,7 @@ class MpiEndpoint:
             raise MatchingError(f"unknown protocol packet {pkt.ptype!r}")
 
     def _match_posted(self, source: int, tag: int,
-                      context: int = 0) -> Optional[RecvRequest]:
+                      context: int = 0) -> RecvRequest | None:
         for i, req in enumerate(self.posted):
             if req.matches(source, tag, context):
                 del self.posted[i]
@@ -380,7 +380,7 @@ class MpiEndpoint:
     # ------------------------------------------------------------------
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
                context: int = 0) -> Generator[object, object,
-                                              Optional[Status]]:
+                                              Status | None]:
         """Nonblocking probe of the unexpected queue (after progress)."""
         yield from self.progress()
         for um in self.unexpected:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-from typing import Optional
 
 import numpy as np
 
@@ -22,10 +21,10 @@ class Request:
         self.req_id = next(_req_ids)
         self.engine = engine
         self.done = False
-        self.status: Optional[Status] = None
+        self.status: Status | None = None
         self.completion: Event = engine.event(name=f"req{self.req_id}")
 
-    def complete(self, status: Optional[Status] = None) -> None:
+    def complete(self, status: Status | None = None) -> None:
         if self.done:
             return
         self.done = True
@@ -65,8 +64,8 @@ class RecvRequest(Request):
         self.source = source
         self.tag = tag
         self.context = context
-        self.matched_from: Optional[int] = None
-        self.matched_tag: Optional[int] = None
+        self.matched_from: int | None = None
+        self.matched_tag: int | None = None
 
     def matches(self, source: int, tag: int, context: int = 0) -> bool:
         from repro.mpi.constants import ANY_SOURCE, ANY_TAG

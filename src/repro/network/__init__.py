@@ -16,12 +16,20 @@ Timing follows the LogGP model (Alexandrov et al.); default parameters are
 the paper's Table I values.
 """
 
-from repro.network.loggp import (LogGPParams, TransportParams,
-                                 default_params, noc_params)
-from repro.network.topology import Machine
-from repro.network.cq import (CompletionQueue, CqEntry, encode_immediate,
-                              decode_immediate)
+from repro.network.cq import (
+    CompletionQueue,
+    CqEntry,
+    decode_immediate,
+    encode_immediate,
+)
 from repro.network.fabric import Fabric, Nic, SysPacket
+from repro.network.loggp import (
+    LogGPParams,
+    TransportParams,
+    default_params,
+    noc_params,
+)
+from repro.network.topology import Machine
 
 __all__ = [
     "LogGPParams",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Optional
+from typing import Any
 
 from repro.errors import NetworkError
 from repro.sim.engine import Engine
@@ -52,13 +52,13 @@ class CqEntry:
     target: int
     nbytes: int
     time: float
-    immediate: Optional[int] = None
-    win_id: Optional[int] = None
-    target_addr: Optional[int] = None
-    local_id: Optional[int] = None   # matches a pending handle at the origin
-    inline: Optional[Any] = None     # numpy payload for shm inline transfer
-    seq: Optional[int] = None        # transfer sequence number (fault dedup)
-    san: Optional[Any] = None        # originating op's sanitizer clock
+    immediate: int | None = None
+    win_id: int | None = None
+    target_addr: int | None = None
+    local_id: int | None = None   # matches a pending handle at the origin
+    inline: Any | None = None     # numpy payload for shm inline transfer
+    seq: int | None = None        # transfer sequence number (fault dedup)
+    san: Any | None = None        # originating op's sanitizer clock
     meta: dict = field(default_factory=dict)
 
 
@@ -71,11 +71,11 @@ class CompletionQueue:
     """
 
     def __init__(self, engine: Engine, name: str = "",
-                 capacity: Optional[int] = None):
+                 capacity: int | None = None):
         self.engine = engine
         self.name = name
         self.capacity = capacity
-        self._entries: Deque[CqEntry] = deque()
+        self._entries: deque[CqEntry] = deque()
         self.arrival = Signal(engine, name=f"cq:{name}")
         self.posted = 0
         self.polled = 0
@@ -92,7 +92,7 @@ class CompletionQueue:
         self.posted += 1
         self.arrival.fire(entry)
 
-    def poll(self) -> Optional[CqEntry]:
+    def poll(self) -> CqEntry | None:
         """Pop the oldest entry, or None if empty (non-blocking)."""
         if self._entries:
             self.polled += 1

@@ -19,8 +19,8 @@ paper's notified-read semantics (§VIII).
 from __future__ import annotations
 
 import itertools
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable, Optional
 
 import numpy as np
 
@@ -72,10 +72,10 @@ class SysPacket:
     target: int
     nbytes: int
     payload: dict = field(default_factory=dict)
-    data: Optional[np.ndarray] = None
+    data: np.ndarray | None = None
     time: float = 0.0
     #: sender's released vector clock (sanitizer runs only)
-    san_clock: Optional[dict] = None
+    san_clock: dict | None = None
 
 
 class Nic:
@@ -110,7 +110,7 @@ class Nic:
             self.bte.faults = fabric.faults
             self.shm.faults = fabric.faults
 
-    def first_delivery(self, seq: Optional[int]) -> bool:
+    def first_delivery(self, seq: int | None) -> bool:
         """True exactly once per transfer sequence number.
 
         The completion path calls this before committing payload bytes or
@@ -127,7 +127,7 @@ class Nic:
         self._delivered_seqs.add(seq)
         return True
 
-    def poll_notification(self) -> Optional[CqEntry]:
+    def poll_notification(self) -> CqEntry | None:
         """Pop the oldest notification across uGNI CQ and shm ring.
 
         The foMPI-NA target checks the uGNI destination CQ and the XPMEM
@@ -159,9 +159,9 @@ class Fabric:
 
     def __init__(self, engine: Engine, machine: Machine,
                  spaces: list[AddressSpace],
-                 params: Optional[TransportParams] = None,
-                 tracer: Optional[Tracer] = None, seed: int = 42,
-                 fault_plan: Optional[FaultPlan] = None,
+                 params: TransportParams | None = None,
+                 tracer: Tracer | None = None, seed: int = 42,
+                 fault_plan: FaultPlan | None = None,
                  sanitizer=None):
         if len(spaces) != machine.nranks:
             raise NetworkError("one address space per rank required")
@@ -174,14 +174,14 @@ class Fabric:
         self.tracer = tracer or Tracer(enabled=False)
         self.rng = RngStream(seed, "fabric")
         #: fault injection (None on a fault-free fabric — the fast path)
-        self.faults: Optional[FaultInjector] = None
+        self.faults: FaultInjector | None = None
         if fault_plan is not None and fault_plan.active:
             self.faults = FaultInjector(fault_plan, seed,
                                         tracer=self.tracer)
         self._op_seq = itertools.count(1)
         self.nics = [Nic(self, r) for r in range(machine.nranks)]
         #: optional hook invoked at sys-packet arrival (async progress)
-        self.on_sys_arrival: Optional[Callable[[int, SysPacket], None]] = None
+        self.on_sys_arrival: Callable[[int, SysPacket], None] | None = None
 
     # ------------------------------------------------------------------
     def nic(self, rank: int) -> Nic:
@@ -231,7 +231,7 @@ class Fabric:
         return extra
 
     def _fate(self, origin: int, target: int, nbytes: int,
-              same_node: bool) -> Optional[TransferFate]:
+              same_node: bool) -> TransferFate | None:
         """Ask the injector (if any) what happens to this transfer."""
         if self.faults is None:
             return None
@@ -239,7 +239,7 @@ class Fabric:
             origin, target, nbytes, "shm" if same_node else "ugni",
             self.engine.now)
 
-    def _next_seq(self) -> Optional[int]:
+    def _next_seq(self) -> int | None:
         """Sequence number for delivery dedup (None on fault-free runs)."""
         if self.faults is None:
             return None
@@ -255,11 +255,11 @@ class Fabric:
             self._at(when, lambda ev=ev: ev.fail(err))
 
     def _post_notification(self, origin: int, accessed: int, kind: str,
-                           nbytes: int, immediate: int, win_id: Optional[int],
-                           target_addr: Optional[int], when: float,
+                           nbytes: int, immediate: int, win_id: int | None,
+                           target_addr: int | None, when: float,
                            same_node: bool,
-                           inline: Optional[np.ndarray] = None,
-                           seq: Optional[int] = None,
+                           inline: np.ndarray | None = None,
+                           seq: int | None = None,
                            san_op=None) -> None:
         """Post a dest-CQ/ring entry at ``accessed`` rank at time ``when``.
 
@@ -287,11 +287,11 @@ class Fabric:
     # RDMA put
     # ------------------------------------------------------------------
     def put(self, origin: int, target: int, target_addr: int,
-            data: np.ndarray, *, win_id: Optional[int] = None,
-            immediate: Optional[int] = None,
-            accumulate: Optional[str] = None,
+            data: np.ndarray, *, win_id: int | None = None,
+            immediate: int | None = None,
+            accumulate: str | None = None,
             acc_dtype=np.float64,
-            scatter: Optional[list[tuple[int, int]]] = None,
+            scatter: list[tuple[int, int]] | None = None,
             san_track: bool = True) -> OpHandle:
         """RDMA write of ``data`` into ``target``'s memory.
 
@@ -451,10 +451,10 @@ class Fabric:
     # RDMA get
     # ------------------------------------------------------------------
     def get(self, origin: int, target: int, target_addr: int, nbytes: int,
-            local_addr: int, *, win_id: Optional[int] = None,
-            immediate: Optional[int] = None,
-            gather: Optional[list[tuple[int, int]]] = None,
-            scatter: Optional[list[tuple[int, int]]] = None) -> OpHandle:
+            local_addr: int, *, win_id: int | None = None,
+            immediate: int | None = None,
+            gather: list[tuple[int, int]] | None = None,
+            scatter: list[tuple[int, int]] | None = None) -> OpHandle:
         """RDMA read of ``nbytes`` from ``target`` into origin memory.
 
         A *notified* get (``immediate`` set) notifies the **target** — the
@@ -534,7 +534,7 @@ class Fabric:
                              notified=immediate is not None)
 
         # Snapshot at serve time (the value read is the value at serve).
-        snapshot: list[Optional[np.ndarray]] = [None]
+        snapshot: list[np.ndarray | None] = [None]
 
         san_op = san_del = None
         if self.san is not None:
@@ -597,9 +597,9 @@ class Fabric:
     # Atomic memory operations
     # ------------------------------------------------------------------
     def amo(self, origin: int, target: int, target_addr: int, op: str,
-            operand: int, compare: Optional[int] = None, *,
-            dtype=np.int64, win_id: Optional[int] = None,
-            immediate: Optional[int] = None) -> OpHandle:
+            operand: int, compare: int | None = None, *,
+            dtype=np.int64, win_id: int | None = None,
+            immediate: int | None = None) -> OpHandle:
         """Remote atomic: ``op`` in {"sum", "replace", "cas", "no_op"}.
 
         ``remote_done`` fires at the origin carrying the *old* value
@@ -713,8 +713,8 @@ class Fabric:
     # Software protocol messages (message passing, RMA control)
     # ------------------------------------------------------------------
     def send_sys(self, origin: int, target: int, ptype: str, nbytes: int,
-                 payload: Optional[dict] = None,
-                 data: Optional[np.ndarray] = None) -> OpHandle:
+                 payload: dict | None = None,
+                 data: np.ndarray | None = None) -> OpHandle:
         """Send a protocol message handled in software at the target.
 
         Carries an optional python ``payload`` (headers) and an optional

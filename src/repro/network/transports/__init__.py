@@ -1,8 +1,8 @@
 """Transport engines: uGNI-like FMA/BTE and XPMEM-like shared memory."""
 
 from repro.network.transports.base import InjectEngine, TransferPlan
-from repro.network.transports.ugni import FmaEngine, BteEngine
 from repro.network.transports.shm import ShmTransport
+from repro.network.transports.ugni import BteEngine, FmaEngine
 
 __all__ = [
     "InjectEngine",

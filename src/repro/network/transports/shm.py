@@ -11,7 +11,7 @@ with computation the way BTE transfers can.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.network.loggp import LogGPParams, TransportParams
 from repro.network.transports.base import TransferPlan
@@ -27,7 +27,7 @@ class ShmTransport:
     offloaded = False
     #: deliveries into one segment commit in ring order; the sanitizer
     #: chains commit clocks along this channel (per origin/target pair)
-    san_channel: Optional[str] = "shm"
+    san_channel: str | None = "shm"
 
     def __init__(self, engine: Engine, params: TransportParams,
                  name: str = ""):
@@ -40,7 +40,7 @@ class ShmTransport:
         #: optional fault injector.  Intra-node data never rides packets,
         #: so only transient stalls (a busy ring / contended segment)
         #: apply on this path.
-        self.faults: Optional["FaultInjector"] = None
+        self.faults: "FaultInjector" | None = None
 
     def is_inline(self, nbytes: int) -> bool:
         return nbytes <= self.params.inline_max

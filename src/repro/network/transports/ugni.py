@@ -15,7 +15,7 @@ completion queue — the mechanism Notified Access is built on (§IV-B).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.network.loggp import LogGPParams
 from repro.network.transports.base import InjectEngine, TransferPlan
@@ -31,14 +31,14 @@ class FmaEngine:
     offloaded = False
     #: FMA transfers between one pair commit in issue order (uGNI FMA
     #: ordering); the sanitizer chains commit clocks along this channel
-    san_channel: Optional[str] = "fma"
+    san_channel: str | None = "fma"
 
     def __init__(self, engine: Engine, params: LogGPParams, name: str = ""):
         self.params = params
         self._inject = InjectEngine(engine, params, name=f"fma:{name}")
         self.engine = engine
         #: optional fault injector (transient engine stalls)
-        self.faults: Optional["FaultInjector"] = None
+        self.faults: "FaultInjector" | None = None
 
     def plan(self, nbytes: int, extra_delay: float = 0.0,
              not_before: float | None = None) -> TransferPlan:
@@ -63,14 +63,14 @@ class BteEngine:
     offloaded = True
     #: BTE DMA completions are unordered with respect to other transfers;
     #: no channel clock — only flush/notification edges order them
-    san_channel: Optional[str] = None
+    san_channel: str | None = None
 
     def __init__(self, engine: Engine, params: LogGPParams, name: str = ""):
         self.params = params
         self._inject = InjectEngine(engine, params, name=f"bte:{name}")
         self.engine = engine
         #: optional fault injector (transient engine stalls)
-        self.faults: Optional["FaultInjector"] = None
+        self.faults: "FaultInjector" | None = None
 
     def plan(self, nbytes: int, extra_delay: float = 0.0,
              not_before: float | None = None) -> TransferPlan:

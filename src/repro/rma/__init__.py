@@ -11,8 +11,8 @@ plus put/get/accumulate/fetch&op/compare&swap, all with epoch checking (an
 access outside a legal epoch raises :class:`~repro.errors.RmaEpochError`).
 """
 
+from repro.rma.request import RmaRequest, rget, rput, rput_notify
 from repro.rma.window import Window, WindowRegistry, win_allocate, win_create
-from repro.rma.request import RmaRequest, rput, rget, rput_notify
 
 __all__ = [
     "Window",

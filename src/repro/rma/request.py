@@ -9,7 +9,7 @@ flushes.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from collections.abc import Generator
 
 import numpy as np
 
@@ -64,7 +64,7 @@ def rput(win: Window, data: np.ndarray, target: int,
 
 
 def rget(win: Window, buf_region: Region, target: int, target_disp: int = 0,
-         nbytes: Optional[int] = None,
+         nbytes: int | None = None,
          local_offset: int = 0) -> Generator[object, object, RmaRequest]:
     """Request-based get: ``wait`` returns once the data has arrived."""
     h = yield from win.get(buf_region, target, target_disp, nbytes=nbytes,

@@ -10,7 +10,7 @@ side is scattered by the NIC via the fabric's scatter-gather list.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from collections.abc import Generator
 
 import numpy as np
 
@@ -36,7 +36,7 @@ def _target_blocks(win: Window, target: int, target_disp: int,
 
 def put_typed(win: Window, buf: np.ndarray, origin_type: Datatype,
               target: int, target_disp: int = 0,
-              target_type: Optional[Datatype] = None, count: int = 1
+              target_type: Datatype | None = None, count: int = 1
               ) -> Generator[object, object, OpHandle]:
     """Typed one-sided write: pack ``count`` x ``origin_type`` from ``buf``
     and scatter into ``count`` x ``target_type`` at the target."""
@@ -60,7 +60,7 @@ def put_typed(win: Window, buf: np.ndarray, origin_type: Datatype,
 
 def get_typed(win: Window, buf: np.ndarray, origin_type: Datatype,
               origin_region: Region, target: int, target_disp: int = 0,
-              target_type: Optional[Datatype] = None, count: int = 1
+              target_type: Datatype | None = None, count: int = 1
               ) -> Generator[object, object, OpHandle]:
     """Typed one-sided read: gather ``count`` x ``target_type`` remotely
     and scatter into ``origin_region`` with ``origin_type``'s layout.
@@ -90,7 +90,7 @@ def get_typed(win: Window, buf: np.ndarray, origin_type: Datatype,
 def put_notify_typed(ctx, win: Window, buf: np.ndarray,
                      origin_type: Datatype, target: int,
                      target_disp: int = 0,
-                     target_type: Optional[Datatype] = None,
+                     target_type: Datatype | None = None,
                      count: int = 1,
                      tag: int = 0) -> Generator[object, object, OpHandle]:
     """The paper's full ``MPI_Put_notify`` signature with derived types."""

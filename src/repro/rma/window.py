@@ -14,7 +14,7 @@ still count as pending operations for ``flush``.
 from __future__ import annotations
 
 import itertools
-from typing import Generator, Optional
+from collections.abc import Generator
 
 import numpy as np
 
@@ -109,13 +109,13 @@ class Window:
         self.rank = ctx.rank
         self._pending: dict[int, list[OpHandle]] = {}
         self._epoch = _EPOCH_NONE
-        self._access_group: Optional[set[int]] = None
+        self._access_group: set[int] | None = None
         self._locked: set[int] = set()
         self.freed = False
 
     # -- local memory --------------------------------------------------
     def local(self, dtype=np.uint8, offset: int = 0,
-              count: Optional[int] = None,
+              count: int | None = None,
               mode: str = "rw") -> np.ndarray:
         """NumPy view of this rank's window memory.
 
@@ -177,7 +177,7 @@ class Window:
         return h
 
     def get(self, buf_region: Region, target: int, target_disp: int = 0,
-            nbytes: Optional[int] = None,
+            nbytes: int | None = None,
             local_offset: int = 0) -> Generator[object, object, OpHandle]:
         """One-sided read from ``target`` into ``buf_region``."""
         self._check_access(target)

@@ -9,7 +9,7 @@ proportional to the live communication pattern, not to simulated time.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.sanitizer.clocks import covers
 
@@ -45,7 +45,7 @@ class Access:
 
     def __init__(self, kind: int, rank: int, addr: int, nbytes: int,
                  actor: int, tick: int, time: float,
-                 site: Optional[str] = None):
+                 site: str | None = None):
         self.kind = kind
         self.rank = rank
         self.addr = addr
@@ -102,7 +102,7 @@ class Shadow:
                     pass
 
     def record(self, rec: Access,
-               vc: dict[int, int]) -> Optional[Access]:
+               vc: dict[int, int]) -> Access | None:
         """Record ``rec`` (performed at clock ``vc``); return the first
         conflicting prior access with no happens-before edge, or None."""
         stale: list[Access] = []

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import itertools
 import sys
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.errors import RaceError
 from repro.sanitizer.clocks import join_into
@@ -40,7 +40,7 @@ def _short(path: str) -> str:
     return "/".join(parts[-3:]) if len(parts) > 3 else path
 
 
-def call_site(skip: int = 1) -> Optional[str]:
+def call_site(skip: int = 1) -> str | None:
     """First caller frame outside the library (apps count as user code)."""
     try:
         frame = sys._getframe(skip + 1)
@@ -60,7 +60,7 @@ class OpClock:
     __slots__ = ("actor", "vc", "site")
 
     def __init__(self, actor: int, vc: dict[int, int],
-                 site: Optional[str]):
+                 site: str | None):
         self.actor = actor
         self.vc = vc
         self.site = site
@@ -93,16 +93,16 @@ class Sanitizer:
         return snap
 
     def acquire(self, rank: int,
-                vc: Optional[dict[int, int]]) -> None:
+                vc: dict[int, int] | None) -> None:
         if vc:
             join_into(self._vc[rank], vc)
 
-    def acquire_op(self, rank: int, op: Optional[OpClock]) -> None:
+    def acquire_op(self, rank: int, op: OpClock | None) -> None:
         if op is not None:
             join_into(self._vc[rank], op.vc)
 
     def acquire_many(self, rank: int,
-                     clocks: Iterable[Optional[dict[int, int]]]) -> None:
+                     clocks: Iterable[dict[int, int] | None]) -> None:
         for vc in clocks:
             if vc:
                 join_into(self._vc[rank], vc)
@@ -120,7 +120,7 @@ class Sanitizer:
 
     # -- operation lifecycle ------------------------------------------------
     def op_begin(self, origin: int,
-                 site: Optional[str] = None) -> OpClock:
+                 site: str | None = None) -> OpClock:
         vc = self.release(origin)
         actor = next(self._ids)
         vc[actor] = 1
@@ -135,7 +135,7 @@ class Sanitizer:
 
     def op_commit(self, op: OpClock, origin: int, target: int,
                   blocks: Iterable[tuple[int, int]], kind: int = WRITE,
-                  chan: Optional[str] = None, record: bool = True) -> None:
+                  chan: str | None = None, record: bool = True) -> None:
         """The op's data is visible at ``target``: finalize its clock and
         record its byte ranges in the target shadow."""
         if chan is not None:
@@ -167,7 +167,7 @@ class Sanitizer:
 
     # -- CPU-side accesses --------------------------------------------------
     def cpu_access(self, rank: int, addr: int, nbytes: int,
-                   kind: int, site: Optional[str] = None) -> None:
+                   kind: int, site: str | None = None) -> None:
         if not nbytes:
             return
         self._record(rank, Access(

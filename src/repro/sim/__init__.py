@@ -11,9 +11,9 @@ Determinism: the event heap orders by ``(time, priority, sequence)`` where
 insertion order and repeated runs are bit-identical.
 """
 
-from repro.sim.engine import Engine, Event, Process, Timeout, Interrupt
 from repro.sim.conditions import AllOf, AnyOf
-from repro.sim.resources import Resource, Store, Signal, Gate
+from repro.sim.engine import Engine, Event, Interrupt, Process, Timeout
+from repro.sim.resources import Gate, Resource, Signal, Store
 from repro.sim.rng import RngStream
 from repro.sim.trace import Tracer, TraceRecord
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.sim.engine import Event, Engine, URGENT
+from repro.sim.engine import URGENT, Engine, Event
 
 
 class _Condition(Event):

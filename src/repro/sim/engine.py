@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, Optional
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
 
 from repro.errors import DeadlockError, SimulationError
 
@@ -41,7 +42,7 @@ class Event:
         self.engine = engine
         self.callbacks: list[Callable[["Event"], None]] = []
         self._value: Any = None
-        self._exc: Optional[BaseException] = None
+        self._exc: BaseException | None = None
         self._state = Event.PENDING
         self.name = name
 
@@ -149,7 +150,7 @@ class Process(Event):
         if not hasattr(gen, "send"):
             raise TypeError(f"process body must be a generator, got {gen!r}")
         self._gen = gen
-        self._waiting_on: Optional[Event] = None
+        self._waiting_on: Event | None = None
         self._defused = False
         # Kick off at the current time (insertion order preserved).
         init = Event(engine, name=f"init:{self.name}")
@@ -183,7 +184,7 @@ class Process(Event):
         else:
             self._step(send=event._value)
 
-    def _step(self, send: Any = None, throw: Optional[BaseException] = None):
+    def _step(self, send: Any = None, throw: BaseException | None = None):
         if self.triggered:  # already finished (e.g. raced interrupt)
             return
         self.engine._active_process = self
@@ -238,9 +239,9 @@ class Engine:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
-        self._active_process: Optional[Process] = None
+        self._active_process: Process | None = None
         self._processes: dict[int, Process] = {}
-        self._crashed: Optional[tuple[BaseException, Process]] = None
+        self._crashed: tuple[BaseException, Process] | None = None
 
     # -- public factory helpers ---------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -296,7 +297,7 @@ class Engine:
                 f"process {proc.name!r} crashed at t={self.now:.3f}us"
             ) from exc
 
-    def run(self, until: Optional[float] = None,
+    def run(self, until: float | None = None,
             detect_deadlock: bool = True) -> float:
         """Run until the heap empties or ``until`` (µs) is reached.
 

@@ -12,10 +12,11 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Generator, Optional
+from collections.abc import Callable, Generator
+from typing import Any
 
 from repro.errors import SimulationError
-from repro.sim.engine import Engine, Event, URGENT
+from repro.sim.engine import URGENT, Engine, Event
 
 
 class Resource:
@@ -36,7 +37,7 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self._in_use = 0
-        self._waiters: Deque[Event] = deque()
+        self._waiters: deque[Event] = deque()
 
     @property
     def in_use(self) -> int:
@@ -83,9 +84,9 @@ class Store:
     def __init__(self, engine: Engine, name: str = ""):
         self.engine = engine
         self.name = name
-        self._items: Deque[Any] = deque()
-        self._getters: Deque[Event] = deque()
-        self.on_put: Optional[Callable[[Any], None]] = None
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self.on_put: Callable[[Any], None] | None = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -145,7 +146,7 @@ class Gate:
         self.engine = engine
         self.name = name
         self._opened = opened
-        self._waiters: Deque[Event] = deque()
+        self._waiters: deque[Event] = deque()
 
     @property
     def is_open(self) -> bool:

@@ -7,9 +7,10 @@ critical path of each synchronization scheme directly from this trace.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from collections import Counter
-from typing import Any, Iterable, Optional
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -58,9 +59,9 @@ class Tracer:
     def count(self, kind: str) -> int:
         return self.counters[kind]
 
-    def select(self, kind: Optional[str] = None,
-               src: Optional[int] = None,
-               dst: Optional[int] = None) -> list[TraceRecord]:
+    def select(self, kind: str | None = None,
+               src: int | None = None,
+               dst: int | None = None) -> list[TraceRecord]:
         """Filter records (requires ``enabled=True`` at emit time)."""
         out: Iterable[TraceRecord] = self.records
         if kind is not None:

@@ -11,6 +11,8 @@ from repro.cluster import Cluster, ClusterConfig
 from repro.network.loggp import TransportParams
 from repro.sim.engine import Engine
 
+pytest_plugins = ("repro.analysis.pytest_plugin",)
+
 
 def pytest_addoption(parser):
     parser.addoption(

@@ -1,0 +1,26 @@
+"""Missing flush: the origin reads the buffer of a notified get before
+any flush — the data may still be in flight.
+
+Expected diagnostic: ``epoch.missing-flush`` on the ``buf.ndarray``
+line — and nothing else.
+"""
+
+import numpy as np
+
+
+def program(ctx):
+    # analyze: nranks=2
+    win = yield from ctx.win_allocate(64)
+    if ctx.rank == 0:
+        buf = ctx.alloc(64)
+        yield from ctx.na.get_notify(win, buf, 1, 0, nbytes=64, tag=0)
+        total = float(buf.ndarray(np.float64).sum())  # read too early
+        yield from win.flush(1)
+        yield from win.free()
+        return total
+    req = yield from ctx.na.notify_init(win, source=0, tag=0)
+    yield from ctx.na.start(req)
+    yield from ctx.na.wait(req)  # consumes the get's notification
+    yield from ctx.na.request_free(req)
+    yield from win.free()
+    return None

@@ -1,0 +1,16 @@
+"""Starved wait: rank 1 blocks on a notification nobody ever posts.
+
+Expected diagnostic: ``budget.starved-wait`` on the ``ctx.na.wait``
+line, ranks (0, 1), nranks=2 — and nothing else.
+"""
+
+
+def program(ctx):
+    # analyze: nranks=2
+    win = yield from ctx.win_allocate(64)
+    if ctx.rank == 1:
+        req = yield from ctx.na.notify_init(win, source=0, tag=7)
+        yield from ctx.na.start(req)
+        yield from ctx.na.wait(req)  # starved: rank 0 never posts
+        yield from ctx.na.request_free(req)
+    yield from win.free()

@@ -1,0 +1,23 @@
+"""Threshold overcount: the wait demands three notifications, the
+producer posts only two.
+
+Expected diagnostic: ``budget.threshold-overcount`` on the
+``ctx.na.wait`` line, rank (0,), nranks=2 — and nothing else.
+"""
+
+import numpy as np
+
+
+def program(ctx):
+    # analyze: nranks=2
+    win = yield from ctx.win_allocate(64)
+    if ctx.rank == 0:
+        req = yield from ctx.na.notify_init(win, source=1, tag=3,
+                                            expected_count=3)
+        yield from ctx.na.start(req)
+        yield from ctx.na.wait(req)  # only 2 of 3 can ever arrive
+        yield from ctx.na.request_free(req)
+    else:
+        for _ in range(2):
+            yield from ctx.na.put_notify(win, np.zeros(1), 0, 0, tag=3)
+    yield from win.free()

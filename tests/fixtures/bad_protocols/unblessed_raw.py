@@ -1,0 +1,24 @@
+"""Unblessed raw view: a ``mode="raw"`` window view in a program that
+never takes a sanitizer blessing and carries no waiver comment.
+
+Expected diagnostic: ``epoch.raw-view`` on the ``win.local`` line —
+and nothing else.
+"""
+
+import numpy as np
+
+
+def program(ctx):
+    # analyze: nranks=2
+    win = yield from ctx.win_allocate(64)
+    flags = win.local(np.int64, mode="raw")  # no san_acquire anywhere
+    if ctx.rank == 0:
+        req = yield from ctx.na.notify_init(win, source=1, tag=0)
+        yield from ctx.na.start(req)
+        yield from ctx.na.wait(req)
+        yield from ctx.na.request_free(req)
+        yield from win.free()
+        return int(flags[0])
+    yield from ctx.na.put_notify(win, np.zeros(1), 0, 0, tag=0)
+    yield from win.free()
+    return None

@@ -1,0 +1,20 @@
+"""Wait-for cycle: both ranks wait for the peer's notification before
+posting their own — the budget balances, the ordering deadlocks.
+
+Expected diagnostic: ``deadlock.wait-cycle`` anchored at the
+``ctx.na.wait`` line, ranks (0, 1), nranks=2 — and nothing else.
+"""
+
+import numpy as np
+
+
+def program(ctx):
+    # analyze: nranks=2
+    win = yield from ctx.win_allocate(64)
+    peer = 1 - ctx.rank
+    req = yield from ctx.na.notify_init(win, source=peer, tag=0)
+    yield from ctx.na.start(req)
+    yield from ctx.na.wait(req)  # both ranks block here forever
+    yield from ctx.na.put_notify(win, np.zeros(1), peer, 0, tag=0)
+    yield from ctx.na.request_free(req)
+    yield from win.free()

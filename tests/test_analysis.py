@@ -1,0 +1,331 @@
+"""Unit tests for the static protocol verifier.
+
+Programs are given as inline source and analyzed through the public
+entry point; nothing here ever executes a rank program.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_file
+from repro.analysis.extract import extract_file
+from repro.analysis.instantiate import instantiate
+
+
+def _analyze(source: str):
+    return analyze_file("<mem>", textwrap.dedent(source))
+
+
+def _extract(source: str):
+    return extract_file("<mem>", textwrap.dedent(source))
+
+
+# ---------------------------------------------------------------------------
+# extraction
+# ---------------------------------------------------------------------------
+
+def test_size_discovery_from_run_ranks():
+    programs = _extract("""
+        from repro.cluster import run_ranks
+
+        def program(ctx):
+            yield from ctx.barrier()
+
+        if __name__ == "__main__":
+            run_ranks(3, program)
+            run_ranks(5, program)
+    """)
+    assert [p.sizes for p in programs] == [[3, 5]]
+
+
+def test_size_discovery_folds_module_constants():
+    programs = _extract("""
+        NPRODUCERS = 6
+
+        def program(ctx):
+            yield from ctx.barrier()
+
+        def main():
+            run_ranks(NPRODUCERS + 1, program)
+    """)
+    assert programs[0].sizes == [7]
+
+
+def test_skip_annotation_silences_program():
+    findings = _analyze("""
+        def program(ctx):
+            # analyze: skip
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(64)
+            if ctx.rank == 1:
+                req = yield from ctx.na.notify_init(win, source=0)
+                yield from ctx.na.start(req)
+                yield from ctx.na.wait(req)
+    """)
+    assert findings == []
+
+
+def test_nested_programs_are_extracted():
+    programs = _extract("""
+        def make():
+            def worker(ctx):
+                yield from ctx.barrier()
+            return worker
+    """)
+    assert [p.qualname for p in programs] == ["make.<locals>.worker"]
+
+
+# ---------------------------------------------------------------------------
+# symbolic rank arithmetic
+# ---------------------------------------------------------------------------
+
+RING = """
+    def program(ctx):
+        # analyze: nranks=4
+        win = yield from ctx.win_allocate(64)
+        left = (ctx.rank - 1) % ctx.size
+        right = (ctx.rank + 1) % ctx.size
+        req = yield from ctx.na.notify_init(win, source=left, tag=5)
+        yield from ctx.na.put_notify(win, None, right, 0, tag=5)
+        yield from ctx.na.start(req)
+        yield from ctx.na.wait(req)
+"""
+
+
+def test_ring_with_modular_arithmetic_is_clean():
+    assert _analyze(RING) == []
+
+
+def test_ring_tag_mismatch_starves_every_rank():
+    findings = _analyze(RING.replace("tag=5)", "tag=6)", 1))
+    assert {f.check for f in findings} == {"budget.starved-wait",
+                                           "budget.dropped-notification"}
+    starved = [f for f in findings if f.check == "budget.starved-wait"]
+    assert len(starved) == 4                    # one per rank
+
+
+def test_wait_before_post_ring_deadlocks():
+    source = RING.replace(
+        "        yield from ctx.na.put_notify(win, None, right, 0, "
+        "tag=5)\n        yield from ctx.na.start(req)\n",
+        "        yield from ctx.na.start(req)\n")
+    source += ("        yield from ctx.na.put_notify"
+               "(win, None, right, 0, tag=5)\n")
+    findings = _analyze(source)
+    assert [f.check for f in findings] == ["deadlock.wait-cycle"]
+    assert findings[0].ranks == (0, 1, 2, 3)
+
+
+# ---------------------------------------------------------------------------
+# wildcard lattice
+# ---------------------------------------------------------------------------
+
+def test_wildcard_wait_consumes_any_source_any_tag():
+    findings = _analyze("""
+        def program(ctx):
+            # analyze: nranks=3
+            win = yield from ctx.win_allocate(64)
+            if ctx.rank == 0:
+                req = yield from ctx.na.notify_init(win)
+                for _ in range(2):
+                    yield from ctx.na.start(req)
+                    yield from ctx.na.wait(req)
+            else:
+                yield from ctx.na.put_notify(win, None, 0, 0,
+                                             tag=ctx.rank)
+    """)
+    assert findings == []
+
+
+def test_dropped_notification_is_reported():
+    findings = _analyze("""
+        def program(ctx):
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(64)
+            if ctx.rank == 0:
+                req = yield from ctx.na.notify_init(win, source=1,
+                                                    tag=0)
+                yield from ctx.na.start(req)
+                yield from ctx.na.wait(req)
+            else:
+                yield from ctx.na.put_notify(win, None, 0, 0, tag=0)
+                yield from ctx.na.put_notify(win, None, 0, 0, tag=0)
+    """)
+    assert [f.check for f in findings] == ["budget.dropped-notification"]
+    assert findings[0].ranks == (0, 1)
+
+
+def test_source_specific_supply_not_stolen_by_wildcard():
+    # the wildcard wait must route around the source-specific demand
+    findings = _analyze("""
+        def program(ctx):
+            # analyze: nranks=3
+            win = yield from ctx.win_allocate(64)
+            if ctx.rank == 0:
+                specific = yield from ctx.na.notify_init(win, source=1,
+                                                         tag=0)
+                anyone = yield from ctx.na.notify_init(win)
+                yield from ctx.na.start(anyone)
+                yield from ctx.na.wait(anyone)
+                yield from ctx.na.start(specific)
+                yield from ctx.na.wait(specific)
+            else:
+                yield from ctx.na.put_notify(win, None, 0, 0, tag=0)
+    """)
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# conservatism: unknowns silence the cross-rank checks
+# ---------------------------------------------------------------------------
+
+def test_unknown_call_disables_budget():
+    findings = _analyze("""
+        def program(ctx):
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(64)
+            yield from helper(ctx, win)
+            if ctx.rank == 0:
+                req = yield from ctx.na.notify_init(win, source=1)
+                yield from ctx.na.start(req)
+                yield from ctx.na.wait(req)
+    """)
+    assert findings == []
+
+
+def test_polling_disables_budget_and_deadlock():
+    findings = _analyze("""
+        def program(ctx):
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(64)
+            if ctx.rank == 0:
+                req = yield from ctx.na.notify_init(win, source=1)
+                yield from ctx.na.start(req)
+                done = yield from ctx.na.test(req)
+                yield from ctx.na.wait(req)
+    """)
+    assert findings == []
+
+
+def test_unsized_program_gets_epoch_lint_only():
+    findings = _analyze("""
+        def program(ctx):
+            win = yield from ctx.win_allocate(64)
+            req = yield from ctx.na.notify_init(win, source=0)
+            yield from ctx.na.start(req)
+            yield from ctx.na.wait(req)
+            yield 42
+    """)
+    assert [f.check for f in findings] == ["epoch.non-event-yield"]
+
+
+# ---------------------------------------------------------------------------
+# epoch lint
+# ---------------------------------------------------------------------------
+
+def test_plain_put_outside_epoch():
+    findings = _analyze("""
+        def program(ctx):
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(64)
+            yield from win.put(None, 1 - ctx.rank)
+            yield from win.flush(1 - ctx.rank)
+    """)
+    assert [f.check for f in findings] == ["epoch.no-epoch"]
+
+
+def test_put_inside_lock_epoch_is_clean():
+    findings = _analyze("""
+        def program(ctx):
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(64)
+            yield from win.lock(1 - ctx.rank)
+            yield from win.put(None, 1 - ctx.rank)
+            yield from win.unlock(1 - ctx.rank)
+    """)
+    assert findings == []
+
+
+def test_branchy_epoch_state_degrades_to_maybe():
+    # the epoch is open on only one path: no definite bug, no finding
+    findings = _analyze("""
+        def program(ctx):
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(64)
+            if ctx.rank == 0:
+                yield from win.lock_all()
+            yield from win.put(None, 1 - ctx.rank)
+            if ctx.rank == 0:
+                yield from win.unlock_all()
+    """)
+    assert [f.check for f in findings] == []
+
+
+def test_raw_view_blessed_by_san_acquire_is_clean():
+    findings = _analyze("""
+        import numpy as np
+
+        def program(ctx):
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(64)
+            flags = win.local(np.int64, mode="raw")
+            ctx.san_acquire(win)
+            yield from ctx.barrier()
+    """)
+    assert findings == []
+
+
+def test_flush_clears_missing_flush_dirty_state():
+    findings = _analyze("""
+        import numpy as np
+
+        def program(ctx):
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(64)
+            buf = ctx.alloc(64)
+            yield from ctx.na.get_notify(win, buf, 1 - ctx.rank, 0,
+                                         nbytes=64, tag=0)
+            yield from win.flush(1 - ctx.rank)
+            total = float(buf.ndarray(np.float64).sum())
+            req = yield from ctx.na.notify_init(win, tag=0)
+            yield from ctx.na.start(req)
+            yield from ctx.na.wait(req)
+    """)
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# instantiation details
+# ---------------------------------------------------------------------------
+
+def test_window_identity_is_positional():
+    programs = _extract("""
+        def program(ctx):
+            # analyze: nranks=2
+            first = yield from ctx.win_allocate(64)
+            second = yield from ctx.win_allocate(64)
+            if ctx.rank == 0:
+                req = yield from ctx.na.notify_init(second, source=1)
+                yield from ctx.na.start(req)
+                yield from ctx.na.wait(req)
+            else:
+                yield from ctx.na.put_notify(second, None, 0, 0)
+    """)
+    traces = instantiate(programs[0], 2)
+    assert all(t.exact for t in traces)
+    wait = next(op for op in traces[0].ops if op.kind == "wait")
+    post = next(op for op in traces[1].ops if op.kind == "post")
+    assert wait.win == post.win
+    assert wait.win.index == 1
+
+
+def test_out_of_range_peer_makes_trace_inexact():
+    programs = _extract("""
+        def program(ctx):
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(64)
+            yield from ctx.na.put_notify(win, None, ctx.rank + 1, 0)
+    """)
+    traces = instantiate(programs[0], 2)
+    assert not traces[1].exact          # rank 1 targets rank 2

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps.stencil import STENCIL_MODES, run_stencil, _serial_reference
+from repro.apps.stencil import STENCIL_MODES, _serial_reference, run_stencil
 from repro.errors import ReproError
 
 

@@ -5,9 +5,14 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import NetworkError
-from repro.network.cq import (CompletionQueue, CqEntry, MAX_IMM_RANK,
-                              MAX_IMM_TAG, decode_immediate,
-                              encode_immediate)
+from repro.network.cq import (
+    MAX_IMM_RANK,
+    MAX_IMM_TAG,
+    CompletionQueue,
+    CqEntry,
+    decode_immediate,
+    encode_immediate,
+)
 from repro.network.topology import Machine
 from repro.sim.engine import Engine
 
