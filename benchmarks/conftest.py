@@ -9,8 +9,21 @@ doubles as the reproduction record.
 
 from __future__ import annotations
 
+from repro.sim.engine import events_scheduled
+
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Benchmark ``fn`` with a single round and return its result."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
-                              iterations=1)
+    """Benchmark ``fn`` with a single round and return its result.
+
+    Also records the number of simulator heap events the call scheduled as
+    ``extra_info["sim_events"]`` — the numerator of the events/sec metric
+    the bench-smoke job tracks (free to collect: the engine counts
+    schedules anyway).
+    """
+    before = events_scheduled()
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                                iterations=1)
+    extra = getattr(benchmark, "extra_info", None)
+    if extra is not None:
+        extra["sim_events"] = events_scheduled() - before
+    return result

@@ -1,0 +1,106 @@
+"""Bench-smoke gate: parallel-runner equality + events/sec regression check.
+
+Run by the CI ``bench-smoke`` job (and usable locally)::
+
+    PYTHONPATH=src python benchmarks/smoke.py --jobs 2 --json out/ \
+        --baselines benchmarks/baselines
+
+For each scaled-down experiment in :data:`repro.bench.runner.SMOKE_CONFIGS`
+this script
+
+1. runs the experiment serially and with ``--jobs N`` and fails unless the
+   two rendered tables are **byte-identical** (the runner's merge contract);
+2. writes ``BENCH_<id>.json`` for the parallel run under ``--json``;
+3. compares against the committed baseline in ``--baselines``: the row
+   values must match exactly (the simulation is deterministic) and the
+   measured events/sec must be at least ``1/TOLERANCE`` of the baseline's
+   (3x by default — generous enough for slow CI runners, tight enough to
+   catch an engine fast-path regression that reverts the overhaul).
+
+Exits non-zero on the first violated check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.runner import (
+    SMOKE_CONFIGS,
+    run_experiment,
+    write_bench_json,
+)
+
+#: events/sec may be this many times slower than the committed baseline
+TOLERANCE = 3.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--jobs", type=int, default=2,
+                    help="pool size for the parallel leg (default 2)")
+    ap.add_argument("--json", metavar="DIR", default=None,
+                    help="write BENCH_<id>.json files under DIR")
+    ap.add_argument("--baselines", metavar="DIR", default=None,
+                    help="directory of committed BENCH_<id>.json baselines")
+    args = ap.parse_args(argv)
+
+    failures: list[str] = []
+    total_wall = 0.0
+    for eid, kwargs in SMOKE_CONFIGS.items():
+        serial_table, serial_meta = run_experiment(eid, jobs=1, **kwargs)
+        par_table, par_meta = run_experiment(eid, jobs=args.jobs, **kwargs)
+        total_wall += par_meta["wall_s"]
+        print(f"[{eid}] serial {serial_meta['wall_s']:.2f}s / "
+              f"jobs={par_meta['jobs']} {par_meta['wall_s']:.2f}s, "
+              f"{par_meta['events']:,} events, "
+              f"{par_meta['events_per_s']:,.0f} events/s")
+
+        if str(serial_table) != str(par_table):
+            failures.append(f"{eid}: parallel table differs from serial")
+        if serial_meta["events"] != par_meta["events"]:
+            failures.append(
+                f"{eid}: event counts differ (serial "
+                f"{serial_meta['events']} vs parallel {par_meta['events']})")
+
+        if args.json is not None:
+            path = write_bench_json(args.json, par_table, par_meta)
+            print(f"  wrote {path}")
+
+        if args.baselines is not None:
+            base_path = f"{args.baselines}/BENCH_{eid}.json"
+            try:
+                with open(base_path) as fh:
+                    base = json.load(fh)
+            except OSError as exc:
+                failures.append(f"{eid}: missing baseline {base_path}: {exc}")
+                continue
+            from repro.bench.runner import bench_payload
+            now = bench_payload(par_table, par_meta)
+            if now["rows"] != base["rows"]:
+                failures.append(f"{eid}: table rows differ from baseline "
+                                f"{base_path} (determinism regression)")
+            if now["events"] != base["events"]:
+                failures.append(
+                    f"{eid}: simulated event count changed "
+                    f"({base['events']} -> {now['events']}); update the "
+                    f"baseline if the schedule change is intentional")
+            floor = base["events_per_s"] / TOLERANCE
+            if now["events_per_s"] < floor:
+                failures.append(
+                    f"{eid}: events/sec regressed: {now['events_per_s']:,.0f}"
+                    f" < {floor:,.0f} (baseline "
+                    f"{base['events_per_s']:,.0f} / {TOLERANCE}x tolerance)")
+
+    print(f"[smoke] total parallel wall {total_wall:.2f}s")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("[smoke] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

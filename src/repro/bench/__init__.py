@@ -25,10 +25,20 @@ from repro.bench.figures import (
     table1_loggp,
 )
 from repro.bench.report import Table, format_table
+from repro.bench.runner import (
+    SMOKE_CONFIGS,
+    SWEEP_PARAMS,
+    run_experiment,
+    write_bench_json,
+)
 
 __all__ = [
     "Table",
     "format_table",
+    "run_experiment",
+    "write_bench_json",
+    "SMOKE_CONFIGS",
+    "SWEEP_PARAMS",
     "fig1_stencil_strong",
     "fig3a_pingpong_put",
     "fig3b_pingpong_get",

@@ -2,8 +2,19 @@
 
 With no arguments, runs all experiments in paper order and prints the
 tables.  Pass experiment ids (fig1, fig2, fig3a, fig3b, fig3c, fig4a,
-fig4b, fig4c, fig5, table1, sec5) to run a subset.  ``--markdown PATH``
-additionally writes the tables as a markdown report.
+fig4b, fig4c, fig5, table1, sec5) to run a subset.
+
+Options:
+
+``--jobs N``
+    Fan each experiment's sweep points over ``N`` worker processes (see
+    :mod:`repro.bench.runner`).  The printed tables are byte-identical to
+    a serial run; only wall time changes.
+``--json DIR``
+    Additionally write a machine-readable ``BENCH_<id>.json`` per
+    experiment under ``DIR`` (rows plus wall-time and events/sec metadata).
+``--markdown PATH``
+    Additionally write the tables as a markdown report.
 """
 
 from __future__ import annotations
@@ -13,18 +24,33 @@ import time
 
 from repro.bench.figures import ALL_EXPERIMENTS
 from repro.bench.report import to_markdown
+from repro.bench.runner import run_experiment, write_bench_json
+
+
+def _pop_option(argv: list[str], name: str) -> tuple[list[str], str | None]:
+    if name not in argv:
+        return argv, None
+    i = argv.index(name)
+    try:
+        value = argv[i + 1]
+    except IndexError:
+        raise SystemExit(f"{name} needs a value")
+    return argv[:i] + argv[i + 2:], value
 
 
 def main(argv: list[str]) -> int:
-    md_path = None
-    if "--markdown" in argv:
-        i = argv.index("--markdown")
-        try:
-            md_path = argv[i + 1]
-        except IndexError:
-            print("--markdown needs a path", file=sys.stderr)
-            return 2
-        argv = argv[:i] + argv[i + 2:]
+    try:
+        argv, md_path = _pop_option(argv, "--markdown")
+        argv, json_dir = _pop_option(argv, "--json")
+        argv, jobs_s = _pop_option(argv, "--jobs")
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        jobs = int(jobs_s) if jobs_s is not None else 1
+    except ValueError:
+        print(f"--jobs needs an integer, got {jobs_s!r}", file=sys.stderr)
+        return 2
     ids = argv or list(ALL_EXPERIMENTS)
     unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
     if unknown:
@@ -34,13 +60,19 @@ def main(argv: list[str]) -> int:
     md_parts = ["# Regenerated experiment tables", ""]
     for eid in ids:
         t0 = time.perf_counter()
-        table = ALL_EXPERIMENTS[eid]()
+        table, meta = run_experiment(eid, jobs=jobs)
         dt = time.perf_counter() - t0
         print(table)
-        print(f"[{eid} regenerated in {dt:.1f}s wall]")
+        print(f"[{eid} regenerated in {dt:.1f}s wall; "
+              f"{meta['events']:,} events, "
+              f"{meta['events_per_s']:,.0f} events/s, "
+              f"jobs={meta['jobs']}]")
         print()
         md_parts.append(to_markdown(table))
         md_parts.append("")
+        if json_dir is not None:
+            path = write_bench_json(json_dir, table, meta)
+            print(f"wrote {path}")
     if md_path is not None:
         with open(md_path, "w") as fh:
             fh.write("\n".join(md_parts))

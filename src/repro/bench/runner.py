@@ -1,0 +1,186 @@
+"""Parallel experiment runner: fan sweep points across a process pool.
+
+Every figure driver in :mod:`repro.bench.figures` is a loop over independent
+sweep points (process counts or message sizes) — each point builds its own
+engines, so points can run in separate worker processes with no shared
+state.  :func:`run_experiment` splits an experiment into per-point subcalls,
+maps them over a ``multiprocessing`` pool, and merges the returned rows in
+canonical (input-order) order, so the merged table is **byte-identical** to a
+serial run: the simulation itself is deterministic, and each worker is
+additionally re-seeded from a stable per-point seed so any library RNG state
+matches no matter which worker picks the point up.
+
+Alongside the plain-text table, the runner reports machine-readable metadata
+(wall time, heap events simulated, events/sec) that
+:func:`write_bench_json` serialises as ``BENCH_<experiment>.json`` — the
+format the CI bench-smoke job diffs against the committed baselines.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+import random
+import time
+import zlib
+from typing import Any
+
+import numpy as np
+
+from repro.bench.figures import ALL_EXPERIMENTS
+from repro.bench.report import Table
+from repro.sim.engine import events_scheduled
+
+#: experiment id -> name of the keyword whose values are independent sweep
+#: points.  Experiments not listed here (fig2, table1, sec5) have
+#: cross-point structure or are single measurements and always run whole.
+SWEEP_PARAMS: dict[str, str] = {
+    "fig1": "nranks_list",
+    "fig3a": "sizes",
+    "fig3b": "sizes",
+    "fig3c": "sizes",
+    "fig4a": "sizes",
+    "fig4b": "nranks_list",
+    "fig4c": "nranks_list",
+    "fig5": "nranks_list",
+}
+
+#: scaled-down configurations used by the CI bench-smoke job and the
+#: regression baselines under benchmarks/baselines/.
+SMOKE_CONFIGS: dict[str, dict[str, Any]] = {
+    "fig1": {"nranks_list": (2, 4, 8), "scale": 0.25},
+    "fig3a": {"sizes": (8, 512, 32768), "iters": 10},
+    "fig4c": {"nranks_list": (4, 16), "reps": 3},
+}
+
+
+def _point_seed(eid: str, index: int) -> int:
+    """Stable per-point seed (crc32: identical across processes and runs)."""
+    return zlib.crc32(f"{eid}:{index}".encode())
+
+
+def _run_point(payload: tuple[str, dict[str, Any], int]) -> dict[str, Any]:
+    """Worker body: run one experiment (sub)call and return its table parts.
+
+    Top-level so it pickles under any multiprocessing start method.
+    """
+    eid, kwargs, seed = payload
+    random.seed(seed)
+    np.random.seed(seed & 0xFFFFFFFF)
+    before = events_scheduled()
+    table = ALL_EXPERIMENTS[eid](**kwargs)
+    return {
+        "title": table.title,
+        "columns": table.columns,
+        "rows": table.rows,
+        "notes": table.notes,
+        "events": events_scheduled() - before,
+    }
+
+
+def _sweep_points(eid: str, kwargs: dict[str, Any]):
+    """Resolve the sweep parameter name and its values (from the kwargs or
+    the driver's signature default); (None, None) for unsplittable ones."""
+    param = SWEEP_PARAMS.get(eid)
+    if param is None:
+        return None, None
+    if param in kwargs:
+        values = kwargs[param]
+    else:
+        values = inspect.signature(
+            ALL_EXPERIMENTS[eid]).parameters[param].default
+    return param, list(values)
+
+
+def run_experiment(eid: str, jobs: int = 1,
+                   **kwargs: Any) -> tuple[Table, dict[str, Any]]:
+    """Run one experiment, optionally fanning sweep points over ``jobs``
+    worker processes.  Returns ``(table, meta)``.
+
+    The table is byte-identical to a serial ``ALL_EXPERIMENTS[eid](**kwargs)``
+    call regardless of ``jobs``.  ``meta`` carries ``wall_s`` (parent-side
+    wall time), ``events`` (heap events simulated across all workers),
+    ``events_per_s``, ``jobs`` (pool size actually used), and the per-point
+    ``seeds``.
+    """
+    if eid not in ALL_EXPERIMENTS:
+        raise KeyError(f"unknown experiment {eid!r}; "
+                       f"available: {list(ALL_EXPERIMENTS)}")
+    param, values = _sweep_points(eid, kwargs)
+    t0 = time.perf_counter()
+    if jobs <= 1 or param is None or len(values) <= 1:
+        payloads = [(eid, dict(kwargs), _point_seed(eid, 0))]
+        results = [_run_point(p) for p in payloads]
+        used_jobs = 1
+    else:
+        payloads = []
+        for i, v in enumerate(values):
+            sub = dict(kwargs)
+            sub[param] = (v,)
+            payloads.append((eid, sub, _point_seed(eid, i)))
+        try:
+            import multiprocessing as mp
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            import multiprocessing as mp
+            ctx = mp.get_context()
+        used_jobs = min(jobs, len(payloads))
+        with ctx.Pool(used_jobs) as pool:
+            results = pool.map(_run_point, payloads)
+    wall = time.perf_counter() - t0
+
+    table = Table(results[0]["title"], list(results[0]["columns"]))
+    table.notes = results[0]["notes"]
+    for r in results:
+        table.rows.extend(r["rows"])
+    events = sum(r["events"] for r in results)
+    meta = {
+        "experiment": eid,
+        "jobs": used_jobs,
+        "wall_s": wall,
+        "events": events,
+        "events_per_s": events / wall if wall > 0 else 0.0,
+        "seeds": [p[2] for p in payloads],
+        "kwargs": {k: _jsonable(v) for k, v in kwargs.items()},
+    }
+    return table, meta
+
+
+def _jsonable(v: Any) -> Any:
+    """Coerce numpy scalars / sequences to plain JSON-serialisable values."""
+    if isinstance(v, np.integer):
+        return int(v)
+    if isinstance(v, np.floating):
+        return float(v)
+    if isinstance(v, (list, tuple)):
+        return [_jsonable(x) for x in v]
+    return v
+
+
+def bench_payload(table: Table, meta: dict[str, Any]) -> dict[str, Any]:
+    """The ``BENCH_<eid>.json`` document for one experiment run."""
+    return {
+        "experiment": meta["experiment"],
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [[_jsonable(v) for v in row] for row in table.rows],
+        "notes": table.notes,
+        "jobs": meta["jobs"],
+        "wall_s": meta["wall_s"],
+        "events": meta["events"],
+        "events_per_s": meta["events_per_s"],
+        "seeds": meta["seeds"],
+        "kwargs": meta["kwargs"],
+    }
+
+
+def write_bench_json(dir_path: str, table: Table,
+                     meta: dict[str, Any]) -> str:
+    """Write ``BENCH_<experiment>.json`` under ``dir_path``; returns path."""
+    os.makedirs(dir_path, exist_ok=True)
+    path = os.path.join(dir_path, f"BENCH_{meta['experiment']}.json")
+    with open(path, "w") as fh:
+        json.dump(bench_payload(table, meta), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

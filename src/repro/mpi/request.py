@@ -22,7 +22,7 @@ class Request:
         self.engine = engine
         self.done = False
         self.status: Status | None = None
-        self.completion: Event = engine.event(name=f"req{self.req_id}")
+        self.completion: Event = Event(engine, "req")
 
     def complete(self, status: Status | None = None) -> None:
         if self.done:

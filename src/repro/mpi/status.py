@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Status:
     """Completion information of a receive or a matched notification.
 

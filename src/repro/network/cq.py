@@ -37,7 +37,7 @@ def decode_immediate(imm: int) -> tuple[int, int]:
     return (imm >> 16) & 0xFFFF, imm & 0xFFFF
 
 
-@dataclass
+@dataclass(slots=True)
 class CqEntry:
     """One completion-queue entry.
 

@@ -45,7 +45,7 @@ AMO_REQUEST_BYTES = 24
 AMO_RESPONSE_BYTES = 16
 
 
-@dataclass
+@dataclass(slots=True)
 class OpHandle:
     """Events and cost of one issued RDMA operation."""
 
@@ -63,7 +63,7 @@ class OpHandle:
     san_local: object = None
 
 
-@dataclass
+@dataclass(slots=True)
 class SysPacket:
     """A software-handled protocol message (MP eager/rendezvous, RMA ctrl)."""
 
@@ -166,6 +166,7 @@ class Fabric:
         if len(spaces) != machine.nranks:
             raise NetworkError("one address space per rank required")
         self.engine = engine
+        self._at = engine.call_at
         #: happens-before tracker (None = sanitizer off, zero overhead)
         self.san = sanitizer
         self.machine = machine
@@ -187,11 +188,8 @@ class Fabric:
     def nic(self, rank: int) -> Nic:
         return self.nics[rank]
 
-    def _at(self, t_abs: float, fn: Callable[[], None]) -> None:
-        """Run ``fn`` at absolute engine time ``t_abs``."""
-        ev = self.engine.event()
-        ev.callbacks.append(lambda _e: fn())
-        ev.succeed(None, delay=max(t_abs - self.engine.now, 0.0))
+    # _at is bound directly to Engine.call_at in __init__ ("run fn at
+    # absolute time t"): the alias keeps ~100k calls/run frame-free.
 
     def _hop_extra(self, origin: int, target: int) -> float:
         """Extra latency for inter-group (dragonfly global-link) paths."""
@@ -252,6 +250,10 @@ class Fabric:
         err = self.faults.lost_error(kind, origin, target)
         when = self.engine.now + fate.fail_after
         for ev in events:
+            # A lost op's completion events may legitimately never be waited
+            # on (e.g. a put whose remote_done the program never flushes);
+            # defuse so the engine's unobserved-failure report stays quiet.
+            ev.defuse()
             self._at(when, lambda ev=ev: ev.fail(err))
 
     def _post_notification(self, origin: int, accessed: int, kind: str,
@@ -318,10 +320,11 @@ class Fabric:
         same = self.machine.same_node(origin, target)
         nic = self.nics[origin]
         nic.ops_issued += 1
-        fate = self._fate(origin, target, nbytes, same)
+        fate = (None if self.faults is None
+                else self._fate(origin, target, nbytes, same))
 
-        local_done = self.engine.event(name=f"put.local:{origin}->{target}")
-        remote_done = self.engine.event(name=f"put.remote:{origin}->{target}")
+        local_done = Event(self.engine, "put.local")
+        remote_done = Event(self.engine, "put.remote")
 
         if fate is not None and fate.lost:
             # Retries exhausted or a dead endpoint: the payload never
@@ -404,7 +407,7 @@ class Fabric:
             dst = space.mem[target_addr:target_addr + nbytes].view(acc_dtype)
             ufunc(dst, raw.view(acc_dtype), out=dst)
 
-        seq = self._next_seq()
+        seq = None if self.faults is None else next(self._op_seq)
         if seq is None:
             # Fault-free fast path: scheduling identical to the original
             # implementation (commit and notification as separate events).
@@ -475,11 +478,12 @@ class Fabric:
         if gather is not None and gather:
             target_addr = gather[0][0]
 
-        local_done = self.engine.event(name=f"get.local:{origin}<-{target}")
-        remote_done = self.engine.event(name=f"get.remote:{origin}<-{target}")
+        local_done = Event(self.engine, "get.local")
+        remote_done = Event(self.engine, "get.remote")
         tspace = self.spaces[target]
         ospace = self.spaces[origin]
-        fate = self._fate(origin, target, nbytes, same)
+        fate = (None if self.faults is None
+                else self._fate(origin, target, nbytes, same))
 
         if fate is not None and fate.lost:
             # The read never completes: no data arrives at the origin and
@@ -580,7 +584,7 @@ class Fabric:
         if immediate is not None:
             # The data legs are idempotent copies; only the notification
             # needs the exactly-once filter under duplication.
-            seq = self._next_seq()
+            seq = None if self.faults is None else next(self._op_seq)
             self._post_notification(origin, target, "get", nbytes, immediate,
                                     win_id, target_addr, notify_at, same,
                                     seq=seq, san_op=san_op)
@@ -611,10 +615,11 @@ class Fabric:
         nic = self.nics[origin]
         nic.ops_issued += 1
         itemsize = np.dtype(dtype).itemsize
-        fate = self._fate(origin, target, itemsize, same)
+        fate = (None if self.faults is None
+                else self._fate(origin, target, itemsize, same))
 
-        local_done = self.engine.event(name=f"amo.local:{origin}->{target}")
-        remote_done = self.engine.event(name=f"amo.remote:{origin}->{target}")
+        local_done = Event(self.engine, "amo.local")
+        remote_done = Event(self.engine, "amo.remote")
 
         if fate is not None and fate.lost:
             cpu_busy = (0.0 if same
@@ -672,7 +677,7 @@ class Fabric:
                     view[0] = operand
             # "no_op" fetches without modifying.
 
-        seq = self._next_seq()
+        seq = None if self.faults is None else next(self._op_seq)
         if seq is None:
             self._at(exec_at, execute)
             if immediate is not None:
@@ -723,9 +728,10 @@ class Fabric:
         """
         same = self.machine.same_node(origin, target)
         nic = self.nics[origin]
-        fate = self._fate(origin, target, nbytes, same)
-        local_done = self.engine.event(name=f"sys.local:{origin}->{target}")
-        remote_done = self.engine.event(name=f"sys.remote:{origin}->{target}")
+        fate = (None if self.faults is None
+                else self._fate(origin, target, nbytes, same))
+        local_done = Event(self.engine, "sys.local")
+        remote_done = Event(self.engine, "sys.remote")
 
         if fate is not None and fate.lost:
             # The protocol message vanishes; the peer that was waiting on
@@ -763,7 +769,7 @@ class Fabric:
                          op=f"sys-{ptype}", medium="shm" if same else "ugni")
         snapshot = None if data is None else np.ascontiguousarray(
             data).view(np.uint8).ravel().copy()
-        seq = self._next_seq()
+        seq = None if self.faults is None else next(self._op_seq)
         san_clock = (self.san.release(origin)
                      if self.san is not None else None)
 

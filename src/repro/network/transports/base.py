@@ -8,7 +8,7 @@ from repro.network.loggp import LogGPParams
 from repro.sim.engine import Engine
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TransferPlan:
     """The priced timeline of one transfer, in absolute engine time (µs).
 

@@ -7,13 +7,23 @@ The core protocol: a simulated activity is a Python generator.  It yields
 :class:`Event` objects and is resumed with the event's value when the event
 triggers.  Composition uses plain ``yield from``, which lets the MPI-like
 layers expose blocking-looking calls (``yield from comm.send(...)``).
+
+Hot-path design (see docs/architecture.md §9): every simulated microsecond is
+paid for in pure-Python event dispatch, so the inner loop avoids allocation
+and indirection wherever the ordering contract allows.  Resuming a process
+whose target already fired goes through a pooled :class:`_Relay` instead of a
+fresh ``Event``; ``succeed``/``fail`` push the heap record inline for the
+ubiquitous zero-delay case; and :meth:`Engine.run` drives the heap directly
+rather than calling :meth:`Engine.step` per event.  The ordering contract is
+strict: events fire in ``(time, priority, schedule-seq)`` order, and none of
+the fast paths may change the sequence of schedule calls — the sanitizer's
+zero-perturbation guarantee and the golden-value tests depend on it.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from collections.abc import Callable, Generator, Iterable
+from heapq import heappop, heappush
 from typing import Any
 
 from repro.errors import DeadlockError, SimulationError
@@ -21,6 +31,17 @@ from repro.errors import DeadlockError, SimulationError
 #: Events scheduled with URGENT priority fire before NORMAL ones at equal time.
 URGENT = 0
 NORMAL = 1
+
+#: Heap events scheduled across all engines in this interpreter (the
+#: denominator of the bench harness's events/sec metric).  Updated by
+#: :meth:`Engine.run` from the engine's schedule counter, so maintaining it
+#: costs nothing per event.
+_events_total = 0
+
+
+def events_scheduled() -> int:
+    """Total heap events scheduled by all engines so far (monotonic)."""
+    return _events_total
 
 
 class Event:
@@ -32,7 +53,8 @@ class Event:
     resumed with :attr:`value` (or have the failure exception thrown in).
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_exc", "_state", "name")
+    __slots__ = ("engine", "callbacks", "_value", "_exc", "_state",
+                 "_defused", "name")
 
     PENDING = 0
     TRIGGERED = 1
@@ -43,30 +65,32 @@ class Event:
         self.callbacks: list[Callable[["Event"], None]] = []
         self._value: Any = None
         self._exc: BaseException | None = None
-        self._state = Event.PENDING
+        self._state = 0
+        self._defused = False
         self.name = name
 
     # -- state inspection ---------------------------------------------------
     @property
     def triggered(self) -> bool:
         """True once the event has been scheduled to fire."""
-        return self._state != Event.PENDING
+        return self._state != 0
 
     @property
     def processed(self) -> bool:
         """True once callbacks have run."""
-        return self._state == Event.PROCESSED
+        return self._state == 2
 
     @property
     def ok(self) -> bool:
         """True if the event triggered successfully (not failed)."""
-        return self.triggered and self._exc is None
+        return self._state != 0 and self._exc is None
 
     @property
     def value(self) -> Any:
-        if not self.triggered:
+        if self._state == 0:
             raise SimulationError(f"value of untriggered event {self!r}")
         if self._exc is not None:
+            self.engine._unobserved.pop(id(self), None)
             raise self._exc
         return self._value
 
@@ -74,20 +98,28 @@ class Event:
     def succeed(self, value: Any = None, delay: float = 0.0,
                 priority: int = NORMAL) -> "Event":
         """Trigger the event successfully with ``value`` after ``delay``."""
-        if self.triggered:
+        if self._state != 0:
             raise SimulationError(f"event {self!r} already triggered")
+        if delay == 0.0:
+            # Inlined zero-delay schedule: by far the common case.
+            self._value = value
+            self._state = 1
+            eng = self.engine
+            eng._seq = seq = eng._seq + 1
+            heappush(eng._heap, (eng.now, priority, seq, self))
+            return self
         if delay < 0:
             raise SimulationError(
                 f"negative delay {delay} in succeed of {self!r}")
         self._value = value
-        self._state = Event.TRIGGERED
+        self._state = 1
         self.engine._schedule(self, delay, priority)
         return self
 
     def fail(self, exc: BaseException, delay: float = 0.0,
              priority: int = NORMAL) -> "Event":
         """Trigger the event as failed; waiters get ``exc`` thrown in."""
-        if self.triggered:
+        if self._state != 0:
             raise SimulationError(f"event {self!r} already triggered")
         if delay < 0:
             raise SimulationError(
@@ -95,20 +127,95 @@ class Event:
         if not isinstance(exc, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._exc = exc
-        self._state = Event.TRIGGERED
+        self._state = 1
         self.engine._schedule(self, delay, priority)
         return self
 
+    def defuse(self) -> "Event":
+        """Allow this event's failure to go unobserved.
+
+        By default a failed event that nobody ever waits on is reported when
+        :meth:`Engine.run` drains (a swallowed error is a bug most of the
+        time).  Layers that fail events speculatively — e.g. the fault
+        injector failing a ``remote_done`` the program may legitimately never
+        flush — defuse them first.
+        """
+        self._defused = True
+        self.engine._unobserved.pop(id(self), None)
+        return self
+
+    def _abandoned(self) -> None:
+        """Hook: the last waiter detached before this event triggered.
+
+        Composite events override this to detach their child callbacks so an
+        interrupted waiter does not leak ``_collect`` references.
+        """
+
     def _process(self) -> None:
-        self._state = Event.PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
-            cb(self)
+        self._state = 2
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for cb in callbacks:
+                cb(self)
+        elif self._exc is not None and not self._defused:
+            # Failure with nobody to throw into: remember it so Engine.run
+            # can report it if no late waiter ever observes the value.
+            self.engine._unobserved[id(self)] = self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = ("pending", "triggered", "processed")[self._state]
         label = f" {self.name!r}" if self.name else ""
         return f"<{type(self).__name__}{label} {state}>"
+
+
+class _Relay(Event):
+    """Pooled internal event that resumes a process at the current time.
+
+    Used for the "target already processed" resume path and for process
+    kick-off, where the engine would otherwise allocate a fresh ``Event`` per
+    resume.  A relay recycles itself back to the engine's free list as soon
+    as its callbacks have run; it is never exposed to user code, so no
+    reference can outlive the recycling.
+    """
+
+    __slots__ = ()
+
+    def _process(self) -> None:
+        self._state = 2
+        callbacks = self.callbacks
+        for cb in callbacks:
+            cb(self)
+        # Reset and return to the pool (keeping the callbacks list avoids a
+        # fresh allocation on reuse).
+        callbacks.clear()
+        self._state = 0
+        self._value = None
+        self._exc = None
+        self.engine._relay_pool.append(self)
+
+
+class _Hook(Event):
+    """Pooled internal event that runs a bare callable at its fire time.
+
+    The network layer defers tens of thousands of "commit this transfer at
+    time t" actions per run; a hook carries the callable directly instead of
+    an ``Event`` plus a wrapper lambda.  Like :class:`_Relay`, hooks are
+    engine-internal and recycle themselves on processing.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, engine: "Engine"):
+        super().__init__(engine)
+        self._fn: Callable[[], None] | None = None
+
+    def _process(self) -> None:
+        fn = self._fn
+        self._fn = None
+        self._state = 0
+        self.engine._hook_pool.append(self)
+        fn()  # type: ignore[misc]
 
 
 class Timeout(Event):
@@ -117,12 +224,20 @@ class Timeout(Event):
     __slots__ = ()
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        # Flattened Event.__init__ + schedule: timeouts are allocated on
+        # every simulated compute/overhead step, so skip the super() frame
+        # and the _schedule frame.
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(engine)
+        self.engine = engine
+        self.callbacks = []
         self._value = value
-        self._state = Event.TRIGGERED
-        engine._schedule(self, delay, NORMAL)
+        self._exc = None
+        self._state = 1
+        self._defused = False
+        self.name = ""
+        engine._seq = seq = engine._seq + 1
+        heappush(engine._heap, (engine.now + delay, NORMAL, seq, self))
 
 
 class Interrupt(Exception):
@@ -142,7 +257,7 @@ class Process(Event):
     :meth:`Engine.run` so bugs never vanish silently.
     """
 
-    __slots__ = ("_gen", "_waiting_on", "_defused")
+    __slots__ = ("_gen", "_waiting_on")
 
     def __init__(self, engine: "Engine",
                  gen: Generator[Event, Any, Any], name: str = ""):
@@ -151,26 +266,37 @@ class Process(Event):
             raise TypeError(f"process body must be a generator, got {gen!r}")
         self._gen = gen
         self._waiting_on: Event | None = None
-        self._defused = False
-        # Kick off at the current time (insertion order preserved).
-        init = Event(engine, name=f"init:{self.name}")
-        init.callbacks.append(self._resume)
-        init.succeed(None, priority=URGENT)
-        engine._register_process(self)
+        # Kick off at the current time via a pooled relay (insertion order
+        # preserved: the relay is scheduled URGENT exactly like the dedicated
+        # init event used to be).  _waiting_on stays None until the first
+        # resume so a pre-start interrupt still lets the process start.
+        pool = engine._relay_pool
+        relay = pool.pop() if pool else _Relay(engine)
+        relay._state = 1
+        relay.callbacks.append(self._resume)
+        engine._seq = seq = engine._seq + 1
+        heappush(engine._heap, (engine.now, URGENT, seq, relay))
+        engine._processes[id(self)] = self
 
     @property
     def is_alive(self) -> bool:
-        return not self.triggered
+        return self._state == 0
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if not self.is_alive:
+        if self._state != 0:
             raise SimulationError(f"cannot interrupt dead process {self!r}")
-        if self._waiting_on is not None:
+        waiting_on = self._waiting_on
+        if waiting_on is not None:
+            callbacks = waiting_on.callbacks
             try:
-                self._waiting_on.callbacks.remove(self._resume)
+                callbacks.remove(self._resume)
             except ValueError:
                 pass
+            if not callbacks:
+                # Last waiter gone: let composite events detach from their
+                # children so loser callbacks don't accumulate forever.
+                waiting_on._abandoned()
             self._waiting_on = None
         hit = Event(self.engine, name=f"interrupt:{self.name}")
         hit.callbacks.append(lambda ev: self._step(throw=Interrupt(cause)))
@@ -185,28 +311,26 @@ class Process(Event):
             self._step(send=event._value)
 
     def _step(self, send: Any = None, throw: BaseException | None = None):
-        if self.triggered:  # already finished (e.g. raced interrupt)
+        if self._state != 0:  # already finished (e.g. raced interrupt)
             return
-        self.engine._active_process = self
+        eng = self.engine
         try:
             if throw is not None:
                 target = self._gen.throw(throw)
             else:
                 target = self._gen.send(send)
         except StopIteration as stop:
-            self.engine._unregister_process(self)
+            eng._processes.pop(id(self), None)
             self.succeed(stop.value, priority=URGENT)
             return
         except BaseException as exc:
-            self.engine._unregister_process(self)
+            eng._processes.pop(id(self), None)
             self._defused = bool(self.callbacks)
             if not self._defused:
                 # Nobody is waiting: surface the crash from Engine.run().
-                self.engine._crash(exc, self)
+                eng._crash(exc, self)
             self.fail(exc, priority=URGENT)
             return
-        finally:
-            self.engine._active_process = None
 
         if not isinstance(target, Event):
             # Re-enter through the normal step machinery: if the generator
@@ -218,14 +342,21 @@ class Process(Event):
             self._step(throw=SimulationError(
                 f"process {self.name!r} yielded non-event {target!r}"))
             return
-        if target.processed:
-            # Already fired: resume immediately (but via the queue to keep
-            # deterministic ordering).
-            relay = Event(self.engine)
-            relay._value, relay._exc = target._value, target._exc
+        if target._state == 2:
+            # Already fired: resume immediately, but via the queue to keep
+            # deterministic ordering.  A pooled relay carries the value so
+            # no Event is allocated per resume.
+            exc = target._exc
+            if exc is not None:
+                eng._unobserved.pop(id(target), None)
+            pool = eng._relay_pool
+            relay = pool.pop() if pool else _Relay(eng)
+            relay._value = target._value
+            relay._exc = exc
+            relay._state = 1
             relay.callbacks.append(self._resume)
-            relay._state = Event.TRIGGERED
-            self.engine._schedule(relay, 0.0, URGENT)
+            eng._seq = seq = eng._seq + 1
+            heappush(eng._heap, (eng.now, URGENT, seq, relay))
             self._waiting_on = relay
         else:
             target.callbacks.append(self._resume)
@@ -238,10 +369,13 @@ class Engine:
     def __init__(self):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
-        self._seq = itertools.count()
-        self._active_process: Process | None = None
+        self._seq = 0
+        self._seq_accounted = 0
+        self._relay_pool: list[_Relay] = []
+        self._hook_pool: list[_Hook] = []
         self._processes: dict[int, Process] = {}
         self._crashed: tuple[BaseException, Process] | None = None
+        self._unobserved: dict[int, Event] = {}
 
     # -- public factory helpers ---------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -269,8 +403,25 @@ class Engine:
             # later step() points nowhere near the culprit.
             raise SimulationError(
                 f"negative schedule delay {delay} for {event!r}")
-        heapq.heappush(self._heap,
-                       (self.now + delay, priority, next(self._seq), event))
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self.now + delay, priority, seq, event))
+
+    def call_at(self, when: float, fn: Callable[[], None],
+                priority: int = NORMAL) -> None:
+        """Run ``fn()`` at absolute time ``when`` (clamped to ``now``).
+
+        Scheduling a hook consumes one sequence number, exactly like the
+        event-plus-callback pattern it replaces, so interleaving with other
+        same-time events is unchanged.
+        """
+        if when < self.now:
+            when = self.now
+        pool = self._hook_pool
+        hook = pool.pop() if pool else _Hook(self)
+        hook._state = 1
+        hook._fn = fn
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (when, priority, seq, hook))
 
     def _register_process(self, proc: Process) -> None:
         self._processes[id(proc)] = proc
@@ -282,10 +433,14 @@ class Engine:
         if self._crashed is None:
             self._crashed = (exc, proc)
 
+    def events_scheduled(self) -> int:
+        """Heap events scheduled on this engine so far."""
+        return self._seq
+
     # -- run loop -----------------------------------------------------------
     def step(self) -> None:
         """Process one event off the heap."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _prio, _seq, event = heappop(self._heap)
         if when < self.now:
             raise SimulationError("time went backwards")
         self.now = when
@@ -305,14 +460,57 @@ class Engine:
         heap drains and ``detect_deadlock`` is set, raises
         :class:`DeadlockError` naming the blocked processes — a simulated
         program that hangs should fail loudly, like a real MPI job timeout.
+        Event failures that were never observed by any waiter (and not
+        :meth:`~Event.defuse`-d) are reported once the heap drains, instead
+        of being swallowed.
         """
         if until is not None and until < self.now:
             raise SimulationError(f"run(until={until}) is in the past")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                self.now = until
-                return self.now
-            self.step()
+        # The inner loop is the hottest code in the repository: drive the
+        # heap directly with locals instead of calling step() per event, and
+        # keep the bounded-run check out of the unbounded loop.
+        heap = self._heap
+        pop = heappop
+        try:
+            if until is None:
+                while heap:
+                    when, _prio, _seq, event = pop(heap)
+                    self.now = when
+                    event._process()
+                    if self._crashed is not None:
+                        exc, proc = self._crashed
+                        self._crashed = None
+                        raise SimulationError(
+                            f"process {proc.name!r} crashed at "
+                            f"t={self.now:.3f}us"
+                        ) from exc
+            else:
+                while heap:
+                    if heap[0][0] > until:
+                        self.now = until
+                        return self.now
+                    when, _prio, _seq, event = pop(heap)
+                    self.now = when
+                    event._process()
+                    if self._crashed is not None:
+                        exc, proc = self._crashed
+                        self._crashed = None
+                        raise SimulationError(
+                            f"process {proc.name!r} crashed at "
+                            f"t={self.now:.3f}us"
+                        ) from exc
+        finally:
+            global _events_total
+            _events_total += self._seq - self._seq_accounted
+            self._seq_accounted = self._seq
+        if self._unobserved:
+            failed = list(self._unobserved.values())
+            self._unobserved.clear()
+            names = ", ".join(repr(ev.name or f"event@{id(ev):#x}")
+                              for ev in failed[:5])
+            raise SimulationError(
+                f"{len(failed)} event failure(s) never observed by any "
+                f"waiter: {names}") from failed[0]._exc
         if detect_deadlock and self._processes:
             blocked = [p.name or f"pid{pid}"
                        for pid, p in self._processes.items()]

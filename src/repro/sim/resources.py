@@ -29,6 +29,8 @@ class Resource:
         res.release()
     """
 
+    __slots__ = ("engine", "capacity", "name", "_in_use", "_waiters")
+
     def __init__(self, engine: Engine, capacity: int = 1, name: str = ""):
         if capacity < 1:
             raise SimulationError(
@@ -52,7 +54,7 @@ class Resource:
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             return
-        ev = self.engine.event(name=f"acquire:{self.name}")
+        ev = Event(self.engine)
         self._waiters.append(ev)
         yield ev
 
@@ -81,6 +83,8 @@ class Store:
     lets observers (e.g. pollers) react to arrivals.
     """
 
+    __slots__ = ("engine", "name", "_items", "_getters", "on_put")
+
     def __init__(self, engine: Engine, name: str = ""):
         self.engine = engine
         self.name = name
@@ -103,7 +107,7 @@ class Store:
         """Blocking get (use with ``yield from``); returns the item."""
         if self._items:
             return self._items.popleft()
-        ev = self.engine.event(name=f"get:{self.name}")
+        ev = Event(self.engine)
         self._getters.append(ev)
         item = yield ev
         return item
@@ -122,10 +126,12 @@ class Store:
 class Signal:
     """A re-armable broadcast: ``fire(value)`` wakes every current waiter."""
 
+    __slots__ = ("engine", "name", "_event", "fire_count")
+
     def __init__(self, engine: Engine, name: str = ""):
         self.engine = engine
         self.name = name
-        self._event = engine.event(name=f"signal:{name}")
+        self._event = Event(engine)
         self.fire_count = 0
 
     def wait(self) -> Event:
@@ -133,14 +139,15 @@ class Signal:
         return self._event
 
     def fire(self, value: Any = None) -> None:
-        ev, self._event = self._event, self.engine.event(
-            name=f"signal:{self.name}")
+        ev, self._event = self._event, Event(self.engine)
         self.fire_count += 1
         ev.succeed(value, priority=URGENT)
 
 
 class Gate:
     """Level-triggered condition: waiters pass while the gate is open."""
+
+    __slots__ = ("engine", "name", "_opened", "_waiters")
 
     def __init__(self, engine: Engine, opened: bool = False, name: str = ""):
         self.engine = engine
@@ -164,6 +171,6 @@ class Gate:
         """Block until the gate is open (use with ``yield from``)."""
         if self._opened:
             return
-        ev = self.engine.event(name=f"gate:{self.name}")
+        ev = Event(self.engine)
         self._waiters.append(ev)
         yield ev

@@ -90,3 +90,195 @@ def test_condition_propagates_failure(engine):
 def test_condition_over_non_event_rejected(engine):
     with pytest.raises(TypeError):
         engine.all_of([1, 2, 3])
+
+
+def test_all_of_duplicate_events(engine):
+    """Regression: all_of([e, e]) used to deadlock — _fired is keyed by
+    event so the duplicate could never contribute a second entry, and
+    _done() compared against the raw input length."""
+    ev = engine.event()
+
+    def waiter(e):
+        got = yield e.all_of([ev, ev])
+        return got
+
+    def firer(e):
+        yield e.timeout(1.0)
+        ev.succeed("v")
+
+    p = engine.process(waiter(engine))
+    engine.process(firer(engine))
+    engine.run()  # must NOT raise DeadlockError
+    assert p.value == {ev: "v"}
+
+
+def test_all_of_mixed_duplicates(engine):
+    ev1, ev2 = engine.event(), engine.event()
+
+    def waiter(e):
+        got = yield e.all_of([ev1, ev2, ev1, ev2, ev1])
+        return sorted(got.values())
+
+    def firer(e):
+        yield e.timeout(1.0)
+        ev1.succeed("a")
+        ev2.succeed("b")
+
+    p = engine.process(waiter(engine))
+    engine.process(firer(engine))
+    engine.run()
+    assert p.value == ["a", "b"]
+
+
+def test_any_of_duplicate_events(engine):
+    ev = engine.event()
+
+    def waiter(e):
+        got = yield e.any_of([ev, ev])
+        return got
+
+    def firer(e):
+        yield e.timeout(1.0)
+        ev.succeed("first")
+
+    p = engine.process(waiter(engine))
+    engine.process(firer(engine))
+    engine.run()
+    assert p.value == {ev: "first"}
+
+
+def test_any_of_detaches_loser_callbacks(engine):
+    """Once an AnyOf wins, its _collect must be removed from the losers so
+    the condition (and its waiters) are not pinned for the rest of the run."""
+    winner, loser = engine.event("w"), engine.event("l")
+
+    def waiter(e):
+        got = yield e.any_of([winner, loser])
+        return got
+
+    def firer(e):
+        yield e.timeout(1.0)
+        winner.succeed("won")
+
+    p = engine.process(waiter(engine))
+    engine.process(firer(engine))
+    engine.run(detect_deadlock=False)
+    assert p.value == {winner: "won"}
+    assert loser.callbacks == []
+
+
+def test_failed_condition_detaches_pending_children(engine):
+    bad, pending = engine.event("bad"), engine.event("pending")
+
+    def waiter(e):
+        try:
+            yield e.all_of([bad, pending])
+        except KeyError:
+            return "failed"
+
+    def firer(e):
+        yield e.timeout(1.0)
+        bad.fail(KeyError("boom"))
+
+    p = engine.process(waiter(engine))
+    engine.process(firer(engine))
+    engine.run(detect_deadlock=False)
+    assert p.value == "failed"
+    assert pending.callbacks == []
+
+
+def test_interrupt_detaches_condition_children(engine):
+    """Interrupting a process blocked on a condition must unhook both the
+    process from the condition and the condition from its children."""
+    from repro.sim.engine import Interrupt
+
+    ev1, ev2 = engine.event("e1"), engine.event("e2")
+
+    def waiter(e):
+        try:
+            yield e.all_of([ev1, ev2])
+        except Interrupt:
+            return "interrupted"
+
+    def killer(e, victim):
+        yield e.timeout(1.0)
+        victim.interrupt("bored")
+
+    p = engine.process(waiter(engine))
+    engine.process(killer(engine, p))
+    engine.run(detect_deadlock=False)
+    assert p.value == "interrupted"
+    # The abandoned condition detached its _collect from both children.
+    assert ev1.callbacks == []
+    assert ev2.callbacks == []
+
+
+def test_interrupt_detaches_plain_event_waiter(engine):
+    from repro.sim.engine import Interrupt
+
+    ev = engine.event("plain")
+
+    def waiter(e):
+        try:
+            yield ev
+        except Interrupt:
+            return "interrupted"
+
+    def killer(e, victim):
+        yield e.timeout(1.0)
+        victim.interrupt()
+
+    p = engine.process(waiter(engine))
+    engine.process(killer(engine, p))
+    engine.run(detect_deadlock=False)
+    assert p.value == "interrupted"
+    assert ev.callbacks == []
+
+
+def test_unobserved_event_failure_surfaces_at_run_exit(engine):
+    """A failed event nobody ever waits on must not vanish silently."""
+    from repro.errors import SimulationError
+
+    ev = engine.event("doomed")
+
+    def firer(e):
+        yield e.timeout(1.0)
+        ev.fail(RuntimeError("swallowed?"))
+
+    engine.process(firer(engine))
+    with pytest.raises(SimulationError, match="never observed"):
+        engine.run()
+
+
+def test_defused_failure_is_not_reported(engine):
+    ev = engine.event("speculative")
+    ev.defuse()
+
+    def firer(e):
+        yield e.timeout(1.0)
+        ev.fail(RuntimeError("expected loss"))
+
+    engine.process(firer(engine))
+    engine.run()  # no SimulationError
+
+
+def test_late_observation_before_drain(engine):
+    from repro.errors import SimulationError
+
+    ev = engine.event("late")
+
+    def firer(e):
+        yield e.timeout(1.0)
+        ev.fail(RuntimeError("boom"))
+
+    def waiter(e):
+        yield e.timeout(2.0)
+        try:
+            yield ev
+        except RuntimeError:
+            return "saw it"
+
+    engine.process(firer(engine))
+    p = engine.process(waiter(engine))
+    engine.run()  # no SimulationError: the failure was observed
+    assert p.value == "saw it"
