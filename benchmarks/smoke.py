@@ -1,21 +1,29 @@
-"""Bench-smoke gate: parallel-runner equality + events/sec regression check.
+"""Bench-smoke gate: scheduler matrix + parallel equality + trend check.
 
 Run by the CI ``bench-smoke`` job (and usable locally)::
 
     PYTHONPATH=src python benchmarks/smoke.py --jobs 2 --json out/ \
-        --baselines benchmarks/baselines
+        --baselines benchmarks/baselines --history benchmarks/history
 
 For each scaled-down experiment in :data:`repro.bench.runner.SMOKE_CONFIGS`
 this script
 
-1. runs the experiment serially and with ``--jobs N`` and fails unless the
-   two rendered tables are **byte-identical** (the runner's merge contract);
-2. writes ``BENCH_<id>.json`` for the parallel run under ``--json``;
+1. runs the experiment under every scheduler in ``--schedulers`` (default
+   ``calendar,heap``) and fails unless all rendered tables and simulated
+   event counts are **byte-identical** — the scheduler equivalence matrix
+   for the engine's ``(time, priority, seq)`` ordering contract;
+2. runs the first (primary) scheduler with ``--jobs N`` and fails unless
+   the parallel table matches the serial one (the runner's merge
+   contract), writing ``BENCH_<id>.json`` for that run under ``--json``;
 3. compares against the committed baseline in ``--baselines``: the row
    values must match exactly (the simulation is deterministic) and the
    measured events/sec must be at least ``1/TOLERANCE`` of the baseline's
    (3x by default — generous enough for slow CI runners, tight enough to
-   catch an engine fast-path regression that reverts the overhaul).
+   catch an engine fast-path regression that reverts the overhaul);
+4. with ``--history DIR``, checks the measurement against the events/sec
+   trend ledger (fails when it falls below the best recent entry by more
+   than ``repro.bench.history.TREND_TOLERANCE``) and then appends it, so
+   the ledger accumulates one entry per CI run.
 
 Exits non-zero on the first violated check.
 """
@@ -24,16 +32,37 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
+from repro.bench.history import append_entry, trend_check
 from repro.bench.runner import (
     SMOKE_CONFIGS,
+    bench_payload,
     run_experiment,
     write_bench_json,
 )
 
 #: events/sec may be this many times slower than the committed baseline
 TOLERANCE = 3.0
+
+
+def _run_with_scheduler(name: str, eid: str, jobs: int, kwargs: dict):
+    """Run one experiment with REPRO_SCHEDULER pinned to ``name``.
+
+    The env var (not Engine(scheduler=...)) is the right knob here: the
+    parallel runner's worker processes inherit it, so every engine in the
+    fork pool uses the same implementation.
+    """
+    prev = os.environ.get("REPRO_SCHEDULER")
+    os.environ["REPRO_SCHEDULER"] = name
+    try:
+        return run_experiment(eid, jobs=jobs, **kwargs)
+    finally:
+        if prev is None:
+            del os.environ["REPRO_SCHEDULER"]
+        else:
+            os.environ["REPRO_SCHEDULER"] = prev
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -44,18 +73,46 @@ def main(argv: list[str] | None = None) -> int:
                     help="write BENCH_<id>.json files under DIR")
     ap.add_argument("--baselines", metavar="DIR", default=None,
                     help="directory of committed BENCH_<id>.json baselines")
+    ap.add_argument("--schedulers", default="calendar,heap",
+                    help="comma-separated scheduler equivalence matrix; "
+                         "the first entry is the primary (default "
+                         "'calendar,heap')")
+    ap.add_argument("--history", metavar="DIR", default=None,
+                    help="events/sec trend ledger: check against it, then "
+                         "append this run")
     args = ap.parse_args(argv)
+    schedulers = [s for s in args.schedulers.split(",") if s]
 
     failures: list[str] = []
     total_wall = 0.0
     for eid, kwargs in SMOKE_CONFIGS.items():
-        serial_table, serial_meta = run_experiment(eid, jobs=1, **kwargs)
-        par_table, par_meta = run_experiment(eid, jobs=args.jobs, **kwargs)
+        # 1. scheduler equivalence matrix (serial legs)
+        serial_table = serial_meta = None
+        for sched in schedulers:
+            table, meta = _run_with_scheduler(sched, eid, 1, kwargs)
+            if serial_table is None:
+                serial_table, serial_meta = table, meta
+                continue
+            if str(table) != str(serial_table):
+                failures.append(
+                    f"{eid}: {sched} scheduler table differs from "
+                    f"{schedulers[0]} (ordering-contract violation)")
+            if meta["events"] != serial_meta["events"]:
+                failures.append(
+                    f"{eid}: {sched} scheduler event count differs from "
+                    f"{schedulers[0]} ({meta['events']} vs "
+                    f"{serial_meta['events']})")
+
+        # 2. parallel merge contract (primary scheduler)
+        par_table, par_meta = _run_with_scheduler(
+            schedulers[0], eid, args.jobs, kwargs)
         total_wall += par_meta["wall_s"]
         print(f"[{eid}] serial {serial_meta['wall_s']:.2f}s / "
               f"jobs={par_meta['jobs']} {par_meta['wall_s']:.2f}s, "
               f"{par_meta['events']:,} events, "
-              f"{par_meta['events_per_s']:,.0f} events/s")
+              f"{par_meta['events_per_s']:,.0f} events/s "
+              f"({par_meta['scheduler']} scheduler, matrix "
+              f"{'x'.join(schedulers)})")
 
         if str(serial_table) != str(par_table):
             failures.append(f"{eid}: parallel table differs from serial")
@@ -76,7 +133,6 @@ def main(argv: list[str] | None = None) -> int:
             except OSError as exc:
                 failures.append(f"{eid}: missing baseline {base_path}: {exc}")
                 continue
-            from repro.bench.runner import bench_payload
             now = bench_payload(par_table, par_meta)
             if now["rows"] != base["rows"]:
                 failures.append(f"{eid}: table rows differ from baseline "
@@ -92,6 +148,16 @@ def main(argv: list[str] | None = None) -> int:
                     f"{eid}: events/sec regressed: {now['events_per_s']:,.0f}"
                     f" < {floor:,.0f} (baseline "
                     f"{base['events_per_s']:,.0f} / {TOLERANCE}x tolerance)")
+
+        if args.history is not None:
+            # check before appending, so today's slow run can't raise
+            # tomorrow's floor
+            msg = trend_check(args.history, eid, par_meta["events_per_s"])
+            if msg is not None:
+                failures.append(msg)
+            entry = append_entry(args.history, par_meta)
+            print(f"  ledger += {entry['events_per_s']:,.0f} ev/s "
+                  f"[rev {entry['rev'] or '?'}]")
 
     print(f"[smoke] total parallel wall {total_wall:.2f}s")
     if failures:

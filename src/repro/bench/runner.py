@@ -31,6 +31,7 @@ import numpy as np
 from repro.bench.figures import ALL_EXPERIMENTS
 from repro.bench.report import Table
 from repro.sim.engine import events_scheduled
+from repro.sim.scheduler import scheduler_name
 
 #: experiment id -> name of the keyword whose values are independent sweep
 #: points.  Experiments not listed here (fig2, table1, sec5) have
@@ -94,15 +95,18 @@ def _sweep_points(eid: str, kwargs: dict[str, Any]):
 
 
 def run_experiment(eid: str, jobs: int = 1,
+                   history_dir: str | None = None,
                    **kwargs: Any) -> tuple[Table, dict[str, Any]]:
     """Run one experiment, optionally fanning sweep points over ``jobs``
     worker processes.  Returns ``(table, meta)``.
 
     The table is byte-identical to a serial ``ALL_EXPERIMENTS[eid](**kwargs)``
     call regardless of ``jobs``.  ``meta`` carries ``wall_s`` (parent-side
-    wall time), ``events`` (heap events simulated across all workers),
-    ``events_per_s``, ``jobs`` (pool size actually used), and the per-point
-    ``seeds``.
+    wall time), ``events`` (scheduler events simulated across all workers),
+    ``events_per_s``, ``jobs`` (pool size actually used), ``scheduler``
+    (the active event-scheduler implementation), and the per-point
+    ``seeds``.  With ``history_dir`` set, the metadata is appended to the
+    events/sec trend ledger (see :mod:`repro.bench.history`).
     """
     if eid not in ALL_EXPERIMENTS:
         raise KeyError(f"unknown experiment {eid!r}; "
@@ -141,9 +145,13 @@ def run_experiment(eid: str, jobs: int = 1,
         "wall_s": wall,
         "events": events,
         "events_per_s": events / wall if wall > 0 else 0.0,
+        "scheduler": scheduler_name(),
         "seeds": [p[2] for p in payloads],
         "kwargs": {k: _jsonable(v) for k, v in kwargs.items()},
     }
+    if history_dir is not None:
+        from repro.bench.history import append_entry
+        append_entry(history_dir, meta)
     return table, meta
 
 
@@ -170,6 +178,7 @@ def bench_payload(table: Table, meta: dict[str, Any]) -> dict[str, Any]:
         "wall_s": meta["wall_s"],
         "events": meta["events"],
         "events_per_s": meta["events_per_s"],
+        "scheduler": meta.get("scheduler"),
         "seeds": meta["seeds"],
         "kwargs": meta["kwargs"],
     }

@@ -167,6 +167,7 @@ class Fabric:
             raise NetworkError("one address space per rank required")
         self.engine = engine
         self._at = engine.call_at
+        self._at_batch = engine.call_at_batch
         #: happens-before tracker (None = sanitizer off, zero overhead)
         self.san = sanitizer
         self.machine = machine
@@ -578,9 +579,13 @@ class Fabric:
                 ospace.copy_in(local_addr, snapshot[0])
 
         self._at(serve_at, serve)
-        self._at(data_at, deliver)
-        self._at(data_at, lambda: local_done.succeed(None))
-        self._at(data_at, lambda: remote_done.succeed(None))
+        # One scheduler transaction for the whole same-tick completion
+        # burst (same seq consumption and dispatch order as three call_at).
+        self._at_batch(data_at, (
+            deliver,
+            lambda: local_done.succeed(None),
+            lambda: remote_done.succeed(None),
+        ))
         if immediate is not None:
             # The data legs are idempotent copies; only the notification
             # needs the exactly-once filter under duplication.
@@ -708,8 +713,10 @@ class Fabric:
             self._at(exec_at, deliver)
             if fate is not None and fate.duplicate:
                 self._at(exec_at + fate.dup_lag, deliver)
-        self._at(done_at, lambda: local_done.succeed(None))
-        self._at(done_at, lambda: remote_done.succeed(result[0]))
+        self._at_batch(done_at, (
+            lambda: local_done.succeed(None),
+            lambda: remote_done.succeed(result[0]),
+        ))
         return OpHandle("amo", cpu_busy, local_done, remote_done,
                         nbytes=itemsize, target=target, commit_at=exec_at,
                         san_remote=san_op)

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.sim.engine import URGENT, Engine, Event
+from repro.sim.engine import Engine, Event
+from repro.sim.scheduler import URGENT
 
 
 class _Condition(Event):

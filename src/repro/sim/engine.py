@@ -1,7 +1,8 @@
 """The discrete-event engine: events, timeouts, processes, and the run loop.
 
-Virtual time is a ``float`` measured in **microseconds** — the natural unit of
-the paper's LogGP parameters (L is ~1 µs on uGNI, G is fractions of a ns/byte).
+Virtual time is a ``float`` measured in **microseconds** — the natural
+unit of the paper's LogGP parameters (L is ~1 µs on uGNI, G is
+fractions of a ns/byte).
 
 The core protocol: a simulated activity is a Python generator.  It yields
 :class:`Event` objects and is resumed with the event's value when the event
@@ -10,10 +11,14 @@ layers expose blocking-looking calls (``yield from comm.send(...)``).
 
 Hot-path design (see docs/architecture.md §9): every simulated microsecond is
 paid for in pure-Python event dispatch, so the inner loop avoids allocation
-and indirection wherever the ordering contract allows.  Resuming a process
-whose target already fired goes through a pooled :class:`_Relay` instead of a
-fresh ``Event``; ``succeed``/``fail`` push the heap record inline for the
-ubiquitous zero-delay case; and :meth:`Engine.run` drives the heap directly
+and indirection wherever the ordering contract allows.  The pending-event set
+lives in a pluggable scheduler (:mod:`repro.sim.scheduler`): a calendar queue
+by default — O(1) for the same-timestamp bursts LogGP traffic generates, with
+whole-tick batch drains — or the classic binary heap via
+``REPRO_SCHEDULER=heap``.  Resuming a process whose target already fired goes
+through a pooled :class:`_Relay` instead of a fresh ``Event``;
+``succeed``/``fail`` push the schedule record inline for the ubiquitous
+zero-delay case; and :meth:`Engine.run` drives the scheduler's batch drain
 rather than calling :meth:`Engine.step` per event.  The ordering contract is
 strict: events fire in ``(time, priority, schedule-seq)`` order, and none of
 the fast paths may change the sequence of schedule calls — the sanitizer's
@@ -22,25 +27,26 @@ zero-perturbation guarantee and the golden-value tests depend on it.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Generator, Iterable
-from heapq import heappop, heappush
+from collections.abc import Callable, Generator, Iterable, Sequence
 from typing import Any
 
 from repro.errors import DeadlockError, SimulationError
+from repro.sim.scheduler import NORMAL, URGENT, make_scheduler
 
-#: Events scheduled with URGENT priority fire before NORMAL ones at equal time.
-URGENT = 0
-NORMAL = 1
+__all__ = [
+    "URGENT", "NORMAL", "Event", "Timeout", "Interrupt", "Process",
+    "Engine", "events_scheduled",
+]
 
-#: Heap events scheduled across all engines in this interpreter (the
-#: denominator of the bench harness's events/sec metric).  Updated by
-#: :meth:`Engine.run` from the engine's schedule counter, so maintaining it
-#: costs nothing per event.
+#: Events scheduled across all engines in this interpreter (the denominator
+#: of the bench harness's events/sec metric).  Updated by :meth:`Engine.run`
+#: and :meth:`Engine.step` from the scheduler's sequence counter, so
+#: maintaining it costs nothing per event.
 _events_total = 0
 
 
 def events_scheduled() -> int:
-    """Total heap events scheduled by all engines so far (monotonic)."""
+    """Total events scheduled by all engines so far (monotonic)."""
     return _events_total
 
 
@@ -105,8 +111,7 @@ class Event:
             self._value = value
             self._state = 1
             eng = self.engine
-            eng._seq = seq = eng._seq + 1
-            heappush(eng._heap, (eng.now, priority, seq, self))
+            eng._push(eng.now, priority, self)
             return self
         if delay < 0:
             raise SimulationError(
@@ -172,11 +177,11 @@ class Event:
 class _Relay(Event):
     """Pooled internal event that resumes a process at the current time.
 
-    Used for the "target already processed" resume path and for process
-    kick-off, where the engine would otherwise allocate a fresh ``Event`` per
-    resume.  A relay recycles itself back to the engine's free list as soon
-    as its callbacks have run; it is never exposed to user code, so no
-    reference can outlive the recycling.
+    Used for the "target already processed" resume path, for process
+    kick-off, and for interrupt delivery, where the engine would otherwise
+    allocate a fresh ``Event`` per resume.  A relay recycles itself back to
+    the engine's free list as soon as its callbacks have run; it is never
+    exposed to user code, so no reference can outlive the recycling.
     """
 
     __slots__ = ()
@@ -218,6 +223,32 @@ class _Hook(Event):
         fn()  # type: ignore[misc]
 
 
+class _Batch(Event):
+    """Pooled internal event that runs several callables at one fire time.
+
+    Backs :meth:`Engine.call_at_batch`: transport completion paths that
+    schedule several hooks at the *same* timestamp (a get's deliver +
+    local_done + remote_done, an AMO's two completions) commit them in one
+    scheduler transaction.  The batch consumes one sequence number per
+    callable — consecutive seqs at an identical (time, priority) are adjacent
+    in dispatch order anyway, so the ordering contract is untouched.
+    """
+
+    __slots__ = ("_fns",)
+
+    def __init__(self, engine: "Engine"):
+        super().__init__(engine)
+        self._fns: Sequence[Callable[[], None]] = ()
+
+    def _process(self) -> None:
+        fns = self._fns
+        self._fns = ()
+        self._state = 0
+        self.engine._batch_pool.append(self)
+        for fn in fns:
+            fn()
+
+
 class Timeout(Event):
     """An event that fires ``delay`` microseconds after creation."""
 
@@ -236,8 +267,7 @@ class Timeout(Event):
         self._state = 1
         self._defused = False
         self.name = ""
-        engine._seq = seq = engine._seq + 1
-        heappush(engine._heap, (engine.now + delay, NORMAL, seq, self))
+        engine._push(engine.now + delay, NORMAL, self)
 
 
 class Interrupt(Exception):
@@ -274,8 +304,7 @@ class Process(Event):
         relay = pool.pop() if pool else _Relay(engine)
         relay._state = 1
         relay.callbacks.append(self._resume)
-        engine._seq = seq = engine._seq + 1
-        heappush(engine._heap, (engine.now, URGENT, seq, relay))
+        engine._push(engine.now, URGENT, relay)
         engine._processes[id(self)] = self
 
     @property
@@ -283,9 +312,36 @@ class Process(Event):
         return self._state == 0
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time."""
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Delivery rides a pooled :class:`_Relay` carrying the
+        :class:`Interrupt` as its exception — one sequence number, no
+        ``Event``-plus-closure allocation, exactly like the interrupt event
+        it replaced.  The process is detached from its current wait target
+        immediately (the interrupt wins over a pending resume), and detached
+        *again* at delivery time in :meth:`_interrupted` in case another
+        same-tick event resumed and re-parked it in between.
+        """
         if self._state != 0:
             raise SimulationError(f"cannot interrupt dead process {self!r}")
+        self._detach()
+        eng = self.engine
+        pool = eng._relay_pool
+        relay = pool.pop() if pool else _Relay(eng)
+        relay._exc = Interrupt(cause)
+        relay._state = 1
+        relay.callbacks.append(self._interrupted)
+        eng._push(eng.now, URGENT, relay)
+
+    # -- internal -----------------------------------------------------------
+    def _detach(self) -> None:
+        """Remove ``_resume`` from the current wait target, if any.
+
+        When the target's callback list empties, let composite events detach
+        from their children so loser callbacks don't accumulate forever.  A
+        target that is an in-flight pooled relay simply fires with an empty
+        callback list and recycles itself as usual.
+        """
         waiting_on = self._waiting_on
         if waiting_on is not None:
             callbacks = waiting_on.callbacks
@@ -294,21 +350,31 @@ class Process(Event):
             except ValueError:
                 pass
             if not callbacks:
-                # Last waiter gone: let composite events detach from their
-                # children so loser callbacks don't accumulate forever.
                 waiting_on._abandoned()
             self._waiting_on = None
-        hit = Event(self.engine, name=f"interrupt:{self.name}")
-        hit.callbacks.append(lambda ev: self._step(throw=Interrupt(cause)))
-        hit.succeed(None, priority=URGENT)
 
-    # -- internal -----------------------------------------------------------
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
         if event._exc is not None:
             self._step(throw=event._exc)
         else:
             self._step(send=event._value)
+
+    def _interrupted(self, event: Event) -> None:
+        """Fired by the pooled interrupt relay.
+
+        The process may have been resumed by another same-tick event and
+        re-parked on a *new* target since :meth:`interrupt` detached it;
+        detach from wherever it waits now, so the stale ``_resume`` callback
+        cannot fire a second resume later, then deliver the interrupt.  A
+        process that already finished (raced interrupt) is left alone —
+        ``_step`` guards that too, but skipping the detach keeps a dead
+        process's state untouched.
+        """
+        if self._state != 0:
+            return
+        self._detach()
+        self._step(throw=event._exc)
 
     def _step(self, send: Any = None, throw: BaseException | None = None):
         if self._state != 0:  # already finished (e.g. raced interrupt)
@@ -355,8 +421,7 @@ class Process(Event):
             relay._exc = exc
             relay._state = 1
             relay.callbacks.append(self._resume)
-            eng._seq = seq = eng._seq + 1
-            heappush(eng._heap, (eng.now, URGENT, seq, relay))
+            eng._push(eng.now, URGENT, relay)
             self._waiting_on = relay
         else:
             target.callbacks.append(self._resume)
@@ -364,15 +429,26 @@ class Process(Event):
 
 
 class Engine:
-    """The event loop.  ``now`` is virtual time in microseconds."""
+    """The event loop.  ``now`` is virtual time in microseconds.
 
-    def __init__(self):
+    ``scheduler`` selects the pending-event structure: ``"calendar"`` (the
+    default), ``"heap"``, or ``None`` to resolve from the
+    ``REPRO_SCHEDULER`` environment variable (see
+    :mod:`repro.sim.scheduler`).  Both orderings are byte-identical; the
+    choice only affects speed.
+    """
+
+    def __init__(self, scheduler: str | None = None):
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, int, Event]] = []
-        self._seq = 0
+        self._sched = make_scheduler(scheduler)
+        #: bound scheduler insert — ``_push(when, priority, event)``; every
+        #: schedule site goes through this one callable (it owns the
+        #: sequence counter).
+        self._push = self._sched.push
         self._seq_accounted = 0
         self._relay_pool: list[_Relay] = []
         self._hook_pool: list[_Hook] = []
+        self._batch_pool: list[_Batch] = []
         self._processes: dict[int, Process] = {}
         self._crashed: tuple[BaseException, Process] | None = None
         self._unobserved: dict[int, Event] = {}
@@ -403,8 +479,7 @@ class Engine:
             # later step() points nowhere near the culprit.
             raise SimulationError(
                 f"negative schedule delay {delay} for {event!r}")
-        self._seq = seq = self._seq + 1
-        heappush(self._heap, (self.now + delay, priority, seq, event))
+        self._push(self.now + delay, priority, event)
 
     def call_at(self, when: float, fn: Callable[[], None],
                 priority: int = NORMAL) -> None:
@@ -420,8 +495,28 @@ class Engine:
         hook = pool.pop() if pool else _Hook(self)
         hook._state = 1
         hook._fn = fn
-        self._seq = seq = self._seq + 1
-        heappush(self._heap, (when, priority, seq, hook))
+        self._push(when, priority, hook)
+
+    def call_at_batch(self, when: float,
+                      fns: Sequence[Callable[[], None]],
+                      priority: int = NORMAL) -> None:
+        """Run each of ``fns`` in order at absolute time ``when``.
+
+        One scheduler transaction, but one sequence number *per callable* —
+        byte-identical dispatch order to ``len(fns)`` consecutive
+        :meth:`call_at` calls (consecutive seqs at one (time, priority) are
+        adjacent; nothing already scheduled can interleave, and everything
+        scheduled later gets a higher seq either way).  The transports use
+        this for completion hooks that land on the same microsecond.
+        """
+        if when < self.now:
+            when = self.now
+        pool = self._batch_pool
+        batch = pool.pop() if pool else _Batch(self)
+        batch._state = 1
+        batch._fns = fns
+        self._push(when, priority, batch)
+        self._sched._seq += len(fns) - 1
 
     def _register_process(self, proc: Process) -> None:
         self._processes[id(proc)] = proc
@@ -433,85 +528,73 @@ class Engine:
         if self._crashed is None:
             self._crashed = (exc, proc)
 
+    def _raise_crash(self) -> None:
+        exc, proc = self._crashed  # type: ignore[misc]
+        self._crashed = None
+        raise SimulationError(
+            f"process {proc.name!r} crashed at t={self.now:.3f}us"
+        ) from exc
+
     def events_scheduled(self) -> int:
-        """Heap events scheduled on this engine so far."""
-        return self._seq
+        """Events scheduled on this engine so far."""
+        return self._sched._seq
+
+    def _account(self) -> None:
+        """Fold this engine's schedule counter into the module total."""
+        global _events_total
+        seq = self._sched._seq
+        _events_total += seq - self._seq_accounted
+        self._seq_accounted = seq
+
+    def _flush_unobserved(self) -> None:
+        failed = list(self._unobserved.values())
+        self._unobserved.clear()
+        names = ", ".join(repr(ev.name or f"event@{id(ev):#x}")
+                          for ev in failed[:5])
+        raise SimulationError(
+            f"{len(failed)} event failure(s) never observed by any "
+            f"waiter: {names}") from failed[0]._exc
 
     # -- run loop -----------------------------------------------------------
     def step(self) -> None:
-        """Process one event off the heap."""
-        when, _prio, _seq, event = heappop(self._heap)
+        """Process one event off the scheduler."""
+        when, event = self._sched.pop()
         if when < self.now:
             raise SimulationError("time went backwards")
         self.now = when
-        event._process()
-        if self._crashed is not None:
-            exc, proc = self._crashed
-            self._crashed = None
-            raise SimulationError(
-                f"process {proc.name!r} crashed at t={self.now:.3f}us"
-            ) from exc
+        try:
+            event._process()
+            if self._crashed is not None:
+                self._raise_crash()
+        finally:
+            # Keep the module-level events/sec denominator fresh for
+            # step-driven simulations too, not only full run() calls.
+            self._account()
 
     def run(self, until: float | None = None,
             detect_deadlock: bool = True) -> float:
-        """Run until the heap empties or ``until`` (µs) is reached.
+        """Run until the scheduler empties or ``until`` (µs) is reached.
 
         Returns the final virtual time.  If processes remain alive when the
-        heap drains and ``detect_deadlock`` is set, raises
+        scheduler drains and ``detect_deadlock`` is set, raises
         :class:`DeadlockError` naming the blocked processes — a simulated
         program that hangs should fail loudly, like a real MPI job timeout.
         Event failures that were never observed by any waiter (and not
-        :meth:`~Event.defuse`-d) are reported once the heap drains, instead
-        of being swallowed.
+        :meth:`~Event.defuse`-d) are reported at every drain boundary —
+        including a bounded ``run(until=...)`` that stops with events still
+        pending — instead of being swallowed.  A program that legitimately
+        observes a failure in a *later* bounded quantum must defuse it (or
+        attach a waiter) before the quantum ends.
         """
         if until is not None and until < self.now:
             raise SimulationError(f"run(until={until}) is in the past")
-        # The inner loop is the hottest code in the repository: drive the
-        # heap directly with locals instead of calling step() per event, and
-        # keep the bounded-run check out of the unbounded loop.
-        heap = self._heap
-        pop = heappop
         try:
-            if until is None:
-                while heap:
-                    when, _prio, _seq, event = pop(heap)
-                    self.now = when
-                    event._process()
-                    if self._crashed is not None:
-                        exc, proc = self._crashed
-                        self._crashed = None
-                        raise SimulationError(
-                            f"process {proc.name!r} crashed at "
-                            f"t={self.now:.3f}us"
-                        ) from exc
-            else:
-                while heap:
-                    if heap[0][0] > until:
-                        self.now = until
-                        return self.now
-                    when, _prio, _seq, event = pop(heap)
-                    self.now = when
-                    event._process()
-                    if self._crashed is not None:
-                        exc, proc = self._crashed
-                        self._crashed = None
-                        raise SimulationError(
-                            f"process {proc.name!r} crashed at "
-                            f"t={self.now:.3f}us"
-                        ) from exc
+            stopped = self._sched.drain(self, until)
         finally:
-            global _events_total
-            _events_total += self._seq - self._seq_accounted
-            self._seq_accounted = self._seq
+            self._account()
         if self._unobserved:
-            failed = list(self._unobserved.values())
-            self._unobserved.clear()
-            names = ", ".join(repr(ev.name or f"event@{id(ev):#x}")
-                              for ev in failed[:5])
-            raise SimulationError(
-                f"{len(failed)} event failure(s) never observed by any "
-                f"waiter: {names}") from failed[0]._exc
-        if detect_deadlock and self._processes:
+            self._flush_unobserved()
+        if not stopped and detect_deadlock and self._processes:
             blocked = [p.name or f"pid{pid}"
                        for pid, p in self._processes.items()]
             raise DeadlockError(blocked)
@@ -519,4 +602,4 @@ class Engine:
 
     def peek(self) -> float:
         """Time of the next event, or ``float('inf')`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._sched.peek()

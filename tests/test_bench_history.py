@@ -1,0 +1,114 @@
+"""Tests of the events/sec trend ledger (repro.bench.history)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.history import (
+    TREND_TOLERANCE,
+    append_entry,
+    history_path,
+    load_history,
+    render_trend,
+    trend_check,
+)
+
+
+def _meta(eid="fig1", eps=200_000.0, events=371_560, jobs=2,
+          scheduler="calendar"):
+    return {
+        "experiment": eid,
+        "jobs": jobs,
+        "wall_s": events / eps,
+        "events": events,
+        "events_per_s": eps,
+        "scheduler": scheduler,
+        "seeds": [1],
+        "kwargs": {},
+    }
+
+
+def test_append_and_load_roundtrip(tmp_path):
+    d = str(tmp_path)
+    e1 = append_entry(d, _meta(eps=100_000.0), rev="abc1234",
+                      ts="2026-08-08T00:00:00Z")
+    e2 = append_entry(d, _meta(eps=120_000.0), rev="def5678",
+                      ts="2026-08-08T01:00:00Z")
+    assert e1["events_per_s"] == 100_000.0
+    got = load_history(d, "fig1")
+    assert [e["rev"] for e in got] == ["abc1234", "def5678"]
+    assert got == [e1, e2]
+    # one JSON object per line, stable keys
+    with open(history_path(d, "fig1")) as fh:
+        lines = fh.read().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[0])["scheduler"] == "calendar"
+
+
+def test_load_missing_history_is_empty(tmp_path):
+    assert load_history(str(tmp_path), "fig9") == []
+
+
+def test_trend_check_passes_within_tolerance(tmp_path):
+    d = str(tmp_path)
+    append_entry(d, _meta(eps=300_000.0), rev="r1", ts="t1")
+    assert trend_check(d, "fig1", 300_000.0) is None
+    # a slow CI runner inside the tolerance window is fine
+    assert trend_check(d, "fig1", 300_000.0 / TREND_TOLERANCE + 1) is None
+
+
+def test_trend_check_fails_beyond_tolerance(tmp_path):
+    d = str(tmp_path)
+    append_entry(d, _meta(eps=300_000.0), rev="r1", ts="t1")
+    msg = trend_check(d, "fig1", 300_000.0 / TREND_TOLERANCE - 1)
+    assert msg is not None and "trend regression" in msg
+
+
+def test_trend_check_uses_best_of_window(tmp_path):
+    d = str(tmp_path)
+    # an ancient fast entry outside the window must not set the floor
+    append_entry(d, _meta(eps=900_000.0), rev="old", ts="t0")
+    for i in range(10):
+        append_entry(d, _meta(eps=150_000.0), rev=f"r{i}", ts=f"t{i + 1}")
+    assert trend_check(d, "fig1", 100_000.0, window=10) is None
+    # ...but inside the window it does
+    msg = trend_check(d, "fig1", 100_000.0, window=11)
+    assert msg is not None
+
+
+def test_trend_check_no_history_passes(tmp_path):
+    assert trend_check(str(tmp_path), "fig1", 1.0) is None
+
+
+def test_render_trend(tmp_path):
+    d = str(tmp_path)
+    append_entry(d, _meta(eps=100_000.0), rev="aaa", ts="t1")
+    append_entry(d, _meta(eps=150_000.0), rev="bbb", ts="t2")
+    append_entry(d, _meta(eid="fig4c", eps=80_000.0), rev="bbb", ts="t2")
+    out = render_trend(d)
+    assert "fig1: 2 runs" in out
+    assert "+50% vs first" in out
+    assert "fig4c: 1 runs" in out
+    assert "calendar scheduler" in out
+
+
+def test_render_trend_empty(tmp_path):
+    assert render_trend(str(tmp_path)) == "no bench history found"
+    assert render_trend(str(tmp_path), ["fig1"]) == "fig1: no history"
+
+
+def test_runner_appends_history(tmp_path):
+    """run_experiment(history_dir=...) writes a ledger entry with the
+    active scheduler recorded."""
+    from repro.bench.runner import SMOKE_CONFIGS, run_experiment
+
+    d = str(tmp_path)
+    _table, meta = run_experiment("fig3a", jobs=1, history_dir=d,
+                                  **SMOKE_CONFIGS["fig3a"])
+    entries = load_history(d, "fig3a")
+    assert len(entries) == 1
+    assert entries[0]["events"] == meta["events"]
+    assert entries[0]["scheduler"] == meta["scheduler"]
+    assert entries[0]["scheduler"] in ("heap", "calendar")

@@ -364,3 +364,177 @@ def test_negative_delay_in_fail_rejected(engine):
 def test_negative_schedule_delay_rejected(engine):
     with pytest.raises(SimulationError):
         engine.timeout(-2.0)
+
+
+def test_step_accounts_events_scheduled(engine):
+    """Regression: step() must fold the engine's schedule counter into the
+    module-level events_scheduled() metric, not only run()'s drain — a
+    step-driven simulation used to report zero new events."""
+    from repro.sim.engine import events_scheduled
+
+    def prog(e):
+        yield e.timeout(1.0)
+        yield e.timeout(1.0)
+
+    engine.process(prog(engine))
+    before = events_scheduled()
+    engine.step()
+    assert events_scheduled() > before
+    engine.step()
+    engine.step()
+    assert events_scheduled() == before + engine.events_scheduled()
+
+
+def test_bounded_run_reports_unobserved_failure(engine):
+    """Regression: a failed, never-observed event processed before
+    ``until`` must be reported at the bounded-drain boundary instead of
+    being silently swallowed by the early return."""
+    ev = engine.event("doomed")
+    ev.fail(RuntimeError("swallowed?"))
+    engine.timeout(10.0)  # keeps the scheduler non-empty past the boundary
+    with pytest.raises(SimulationError, match="never observed"):
+        engine.run(until=5.0)
+
+
+def test_bounded_run_defused_failure_not_reported(engine):
+    """defuse() is the documented opt-out, for bounded drains too."""
+    ev = engine.event()
+    ev.fail(RuntimeError("expected"))
+    ev.defuse()
+    engine.timeout(10.0)
+    assert engine.run(until=5.0) == 5.0
+
+
+def test_failure_observed_within_quantum_not_reported(engine):
+    """Pinning the bounded-drain semantics: a failure that finds its
+    observer before the quantum ends stays out of the unobserved report;
+    one that would only be observed in a later quantum must be defused."""
+    ev = engine.event()
+    ev.fail(RuntimeError("handled in time"))
+
+    def observer(e):
+        yield e.timeout(3.0)     # observes at t=3, inside the quantum
+        try:
+            yield ev
+        except RuntimeError:
+            return "saw it"
+
+    p = engine.process(observer(engine))
+    engine.timeout(10.0)
+    engine.run(until=5.0, detect_deadlock=False)
+    engine.run()
+    assert p.value == "saw it"
+
+
+def test_interrupt_reuses_relay_pool(engine):
+    """Regression: interrupt() used to allocate a fresh Event plus closure
+    per interrupt; it must ride the engine's relay pool instead."""
+    def sleeper(e):
+        while True:
+            try:
+                yield e.event()
+            except Interrupt:
+                pass
+
+    def interrupter(e, victim):
+        for _ in range(5):
+            yield e.timeout(1.0)
+            victim.interrupt()
+
+    v = engine.process(sleeper(engine))
+    engine.process(interrupter(engine, v))
+    engine.run(until=10.0, detect_deadlock=False)
+    # every interrupt recycled its relay: the pool never grows past the
+    # small steady-state set (kick-off relays + interrupt relay)
+    assert len(engine._relay_pool) <= 2
+
+
+def test_interrupt_while_parked_on_pooled_relay(engine):
+    """Interrupting a process parked on a pooled _Relay (the already-fired
+    resume path) must deliver the interrupt and leave the abandoned relay
+    recycling cleanly with an empty callback list.
+
+    The only way to catch a process on an in-flight relay is a second
+    interrupt in the same urgent cascade: the first delivery makes the
+    victim yield an already-processed event (parking it on a relay with a
+    higher schedule-seq), and the second interrupt relay — scheduled
+    earlier, so firing first — must detach it from that relay.
+    """
+    done = engine.event()
+    done.succeed("early")
+    log = []
+
+    def victim(e):
+        try:
+            yield e.event()
+        except Interrupt as i:
+            log.append(("int", i.cause))
+        try:
+            got = yield done     # already fired -> parks on a pooled relay
+            log.append(("resumed", got))
+        except Interrupt as i:
+            log.append(("int", i.cause))
+        yield e.timeout(1.0)
+        log.append("end")
+
+    v = engine.process(victim(engine))
+
+    def interrupter(e):
+        yield e.timeout(1.0)
+        v.interrupt("a")
+        v.interrupt("b")
+
+    engine.process(interrupter(engine))
+    engine.run()
+    assert log == [("int", "a"), ("int", "b"), "end"]
+    assert engine.now == 2.0
+
+
+def test_double_interrupt_no_stale_resume(engine):
+    """Two same-tick interrupts: the second must detach the process from
+    whatever it re-parked on, so no stale resume fires later."""
+    log = []
+
+    def victim(e):
+        try:
+            yield e.event()
+        except Interrupt as i:
+            log.append(f"int{i.cause}")
+        try:
+            yield e.timeout(5.0)
+        except Interrupt as i:
+            log.append(f"int{i.cause}")
+        yield e.timeout(1.0)
+        log.append("done")
+
+    v = engine.process(victim(engine))
+
+    def interrupter(e):
+        yield e.timeout(2.0)
+        v.interrupt(1)
+        v.interrupt(2)
+
+    engine.process(interrupter(engine))
+    engine.run()
+    assert log == ["int1", "int2", "done"]
+    # the detached 5us timeout still pops (with no waiter) at t=7
+    assert engine.now == 7.0
+
+
+def test_interrupt_raced_by_completion_is_noop(engine):
+    """An interrupt scheduled in the same tick the process finishes must
+    not corrupt the dead process (delivery-side guard)."""
+    def quick(e):
+        yield e.timeout(1.0)
+        return "ok"
+
+    p = engine.process(quick(engine))
+
+    def interrupter(e):
+        yield e.timeout(1.0)
+        if p.is_alive:
+            p.interrupt("too late?")
+
+    engine.process(interrupter(engine))
+    engine.run()
+    assert p.value == "ok"

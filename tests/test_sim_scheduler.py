@@ -1,0 +1,331 @@
+"""Tests of the pluggable event schedulers (heap vs calendar).
+
+The calendar queue must be observationally identical to the binary heap:
+same pop order for any push sequence respecting the engine's invariants
+(times are never in the past relative to the last pop), same golden event
+traces across calendar bucket boundaries, overflow rungs, and rebuild
+thresholds.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import NORMAL, URGENT, Engine
+from repro.sim.scheduler import (
+    _MIN_SLOTS,
+    SCHEDULERS,
+    CalendarScheduler,
+    HeapScheduler,
+    make_scheduler,
+    scheduler_name,
+)
+
+
+# ---------------------------------------------------------------------------
+# registry / selection
+# ---------------------------------------------------------------------------
+def test_registry_contains_both():
+    assert set(SCHEDULERS) == {"heap", "calendar"}
+
+
+def test_default_is_calendar(monkeypatch):
+    monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+    assert scheduler_name() == "calendar"
+    assert isinstance(make_scheduler(), CalendarScheduler)
+
+
+def test_env_selects_heap(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHEDULER", "heap")
+    assert scheduler_name() == "heap"
+    assert isinstance(make_scheduler(), HeapScheduler)
+    # explicit argument wins over the environment
+    assert scheduler_name("calendar") == "calendar"
+
+
+def test_unknown_scheduler_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHEDULER", "splay-tree")
+    with pytest.raises(SimulationError, match="unknown scheduler"):
+        scheduler_name()
+
+
+def test_engine_accepts_scheduler_argument():
+    assert Engine(scheduler="heap")._sched.name == "heap"
+    assert Engine(scheduler="calendar")._sched.name == "calendar"
+
+
+def test_calendar_rejects_exotic_priority():
+    sched = CalendarScheduler()
+    with pytest.raises(SimulationError, match="URGENT/NORMAL"):
+        sched.push(1.0, 7, object())
+    # the heap takes anything orderable
+    h = HeapScheduler()
+    h.push(1.0, 7, "x")
+    assert h.pop() == (1.0, "x")
+
+
+# ---------------------------------------------------------------------------
+# direct pop-order equivalence
+# ---------------------------------------------------------------------------
+def _drain_interleaved(sched, pushes):
+    """Push/pop interleaving like the engine: pops never go back in time,
+    pushes during the drain land at >= the last popped time."""
+    order = []
+    for when, prio, tag in pushes:
+        sched.push(when, prio, tag)
+    while len(sched):
+        when, tag = sched.pop()
+        order.append((when, tag))
+    return order
+
+
+@st.composite
+def push_sequences(draw):
+    """Random (time, priority, tag) schedules with engine-like times."""
+    n = draw(st.integers(min_value=1, max_value=120))
+    times = st.one_of(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False,
+                  allow_infinity=False),
+        # heavy same-timestamp collisions, the calendar's home turf
+        st.sampled_from([0.0, 1.0, 1.5, 2.0, 40.0]),
+    )
+    pushes = []
+    for tag in range(n):
+        pushes.append((draw(times), draw(st.sampled_from([URGENT, NORMAL])),
+                       tag))
+    return pushes
+
+
+@settings(max_examples=120, deadline=None)
+@given(pushes=push_sequences())
+def test_heap_and_calendar_pop_identically(pushes):
+    heap = HeapScheduler()
+    cal = CalendarScheduler()
+    assert _drain_interleaved(heap, pushes) \
+        == _drain_interleaved(cal, pushes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pushes=push_sequences(),
+       extra=st.lists(st.tuples(
+           st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+           st.sampled_from([URGENT, NORMAL])), max_size=20))
+def test_equivalent_under_mid_drain_pushes(pushes, extra):
+    """Interleave pops with future-relative pushes (the cascade pattern):
+    both schedulers must still agree event-for-event."""
+    def run(sched):
+        for when, prio, tag in pushes:
+            sched.push(when, prio, ("init", tag))
+        pending = list(extra)
+        order = []
+        while len(sched):
+            when, tag = sched.pop()
+            order.append((when, tag))
+            if pending:
+                delay, prio = pending.pop()
+                # push relative to the pop time, like an engine callback
+                sched.push(when + delay, prio, ("mid", len(pending)))
+        return order
+
+    assert run(HeapScheduler()) == run(CalendarScheduler())
+
+
+def test_same_tick_urgent_preempts_older_normals():
+    """A same-time URGENT pushed mid-bucket (higher seq) must still beat
+    NORMAL entries pushed earlier (lower seq) — the heap's
+    ``(t, 0, big) < (t, 1, small)`` tuple order."""
+    for name in SCHEDULERS:
+        sched = make_scheduler(name)
+        sched.push(5.0, NORMAL, "n1")
+        sched.push(5.0, NORMAL, "n2")
+        assert sched.pop() == (5.0, "n1")
+        sched.push(5.0, URGENT, "u-late")
+        assert sched.pop() == (5.0, "u-late"), name
+        assert sched.pop() == (5.0, "n2"), name
+
+
+def test_seq_counts_match():
+    """Both implementations consume one sequence number per push."""
+    heap, cal = HeapScheduler(), CalendarScheduler()
+    for sched in (heap, cal):
+        for i in range(7):
+            sched.push(float(i % 3), NORMAL, i)
+    assert heap._seq == cal._seq == 7
+
+
+def test_peek_and_len():
+    for name in SCHEDULERS:
+        sched = make_scheduler(name)
+        assert sched.peek() == float("inf")
+        assert len(sched) == 0 and not sched
+        sched.push(9.0, NORMAL, "b")
+        sched.push(3.0, URGENT, "a")
+        assert sched.peek() == 3.0
+        assert len(sched) == 2 and sched
+        assert sched.pop() == (3.0, "a")
+        assert sched.peek() == 9.0
+        sched.pop()
+        assert len(sched) == 0
+        with pytest.raises(IndexError):
+            sched.pop()
+
+
+# ---------------------------------------------------------------------------
+# calendar internals: bucket boundaries, overflow, rebuild
+# ---------------------------------------------------------------------------
+def test_golden_order_across_bucket_boundaries():
+    """Timestamps straddling calendar slot boundaries pop in time order."""
+    cal = CalendarScheduler()
+    # default geometry: base 0.0, width 1.0, 32 slots -> horizon at 32.0
+    times = [0.5, 1.0, 1.0000001, 31.9, 32.0, 33.5, 100.0, 1000.0]
+    for i, t in enumerate(reversed(times)):
+        cal.push(t, NORMAL, f"e{len(times) - 1 - i}")
+    got = []
+    while len(cal):
+        got.append(cal.pop())
+    assert got == [(t, f"e{i}") for i, t in enumerate(times)]
+
+
+def test_overflow_rung_and_rebuild():
+    """Events far beyond the horizon land in the ladder rung and surface
+    in order after the year-exhausted rebuild."""
+    cal = CalendarScheduler()
+    far = [1e6 + i * 0.25 for i in range(50)]
+    for i, t in enumerate(far):
+        cal.push(t, NORMAL, i)
+    assert cal._over                       # beyond-horizon: ladder top
+    got = [cal.pop() for _ in range(len(far))]
+    assert got == [(t, i) for i, t in enumerate(far)]
+    assert cal._base == far[0]             # rebuild re-seeded the geometry
+
+
+def test_grow_rebuild_threshold():
+    """Pushing more than 2*nslots distinct timestamps grows the calendar."""
+    cal = CalendarScheduler()
+    assert cal._nslots == _MIN_SLOTS
+    n = 2 * _MIN_SLOTS + 8
+    for i in range(n):
+        cal.push(i * 0.001, NORMAL, i)
+    assert cal._nslots > _MIN_SLOTS
+    got = [cal.pop() for _ in range(n)]
+    assert got == [(i * 0.001, i) for i in range(n)]
+
+
+def test_golden_trace_crossing_rebuild_threshold():
+    """Engine-level golden trace whose schedule crosses the grow-rebuild
+    threshold: identical on both schedulers, and stable."""
+    def run(scheduler):
+        eng = Engine(scheduler=scheduler)
+        log = []
+
+        def prog(e, tag, delay):
+            for i in range(3):
+                yield e.timeout(delay)
+                log.append((round(e.now, 6), tag, i))
+
+        for tag in range(40):              # 120 timeouts, > 2*32 distinct
+            eng.process(prog(eng, tag, 0.37 + tag * 0.013), name=f"p{tag}")
+        eng.run()
+        return log
+
+    heap_log = run("heap")
+    cal_log = run("calendar")
+    assert heap_log == cal_log
+    assert cal_log == run("calendar")      # deterministic
+
+
+def test_future_urgent_escape_hatch():
+    """URGENT at a non-active future time (the rare path) still orders
+    before NORMAL at that time and after everything earlier."""
+    for name in SCHEDULERS:
+        sched = make_scheduler(name)
+        sched.push(10.0, NORMAL, "n10")
+        sched.push(10.0, URGENT, "u10")
+        sched.push(5.0, NORMAL, "n5")
+        got = [sched.pop() for _ in range(3)]
+        assert got == [(5.0, "n5"), (10.0, "u10"), (10.0, "n10")], name
+
+
+def test_urgent_only_timestamp_via_engine():
+    """A timestamp whose only events are URGENT (kick-off relays before
+    run()) drains correctly on the calendar's escape-hatch path."""
+    eng = Engine(scheduler="calendar")
+    log = []
+
+    def prog(e, tag):
+        log.append((e.now, tag))
+        yield e.timeout(1.0)
+
+    eng.process(prog(eng, "a"))
+    eng.process(prog(eng, "b"))
+    eng.run()
+    assert log == [(0.0, "a"), (0.0, "b")]
+
+
+# ---------------------------------------------------------------------------
+# engine-level equivalence and drain/step interop
+# ---------------------------------------------------------------------------
+def _branchy_program(eng):
+    """A workload exercising conditions, zero-delays, and interrupts."""
+    log = []
+
+    def worker(e, tag, period):
+        for i in range(4):
+            yield e.timeout(period)
+            log.append(("tick", tag, e.now))
+
+    def coordinator(e, procs):
+        done = yield e.all_of(procs[:2])
+        log.append(("all", len(done), e.now))
+        first = yield e.any_of(procs[2:])
+        log.append(("any", len(first), e.now))
+
+    procs = [eng.process(worker(eng, t, 0.5 + 0.25 * t), name=f"w{t}")
+             for t in range(4)]
+    eng.process(coordinator(eng, procs), name="coord")
+    return log
+
+
+def test_full_program_identical_on_both_schedulers():
+    logs = []
+    for name in ("heap", "calendar"):
+        eng = Engine(scheduler=name)
+        log = _branchy_program(eng)
+        eng.run()
+        logs.append((log, eng.now))
+    assert logs[0] == logs[1]
+
+
+def test_bounded_run_and_resume_equivalent():
+    """run(until=...) quantums then a final drain: same trace on both."""
+    def run(scheduler):
+        eng = Engine(scheduler=scheduler)
+        log = _branchy_program(eng)
+        t = 0.0
+        while True:
+            t += 0.7
+            now = eng.run(until=t, detect_deadlock=False)
+            log.append(("quantum", now))
+            if eng.peek() == float("inf"):
+                break
+        return log
+
+    assert run("heap") == run("calendar")
+
+
+def test_step_then_run_interop():
+    """step()-driven consumption interleaved with run() drains cleanly on
+    the calendar's partially-consumed active bucket."""
+    def run(scheduler):
+        eng = Engine(scheduler=scheduler)
+        log = _branchy_program(eng)
+        for _ in range(5):
+            eng.step()
+        log.append(("stepped-to", eng.now))
+        eng.run()
+        return log, eng.now
+
+    assert run("heap") == run("calendar")
