@@ -15,12 +15,18 @@ this script
 2. runs the first (primary) scheduler with ``--jobs N`` and fails unless
    the parallel table matches the serial one (the runner's merge
    contract), writing ``BENCH_<id>.json`` for that run under ``--json``;
-3. compares against the committed baseline in ``--baselines``: the row
+3. with ``--shards LIST`` (e.g. ``--shards 1,2,4``), re-runs the
+   experiments in :data:`SHARD_SMOKE` at every listed shard count and
+   fails unless each rendered table is byte-identical to the serial run —
+   the sharded conservative-parallel core's exactness contract.  Only the
+   tables are compared: the sharded core schedules extra boundary-
+   machinery events, so raw event counts legitimately differ;
+4. compares against the committed baseline in ``--baselines``: the row
    values must match exactly (the simulation is deterministic) and the
    measured events/sec must be at least ``1/TOLERANCE`` of the baseline's
    (3x by default — generous enough for slow CI runners, tight enough to
    catch an engine fast-path regression that reverts the overhaul);
-4. with ``--history DIR``, checks the measurement against the events/sec
+5. with ``--history DIR``, checks the measurement against the events/sec
    trend ledger (fails when it falls below the best recent entry by more
    than ``repro.bench.history.TREND_TOLERANCE``) and then appends it, so
    the ledger accumulates one entry per CI run.
@@ -45,6 +51,11 @@ from repro.bench.runner import (
 
 #: events/sec may be this many times slower than the committed baseline
 TOLERANCE = 3.0
+
+#: experiments exercised by the ``--shards`` equivalence matrix — small
+#: cluster-driven sweeps whose tables carry no shard-count column, so
+#: byte-equality across shard counts is the exactness contract verbatim
+SHARD_SMOKE = ("fig1", "fig4c")
 
 
 def _run_with_scheduler(name: str, eid: str, jobs: int, kwargs: dict):
@@ -80,8 +91,14 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--history", metavar="DIR", default=None,
                     help="events/sec trend ledger: check against it, then "
                          "append this run")
+    ap.add_argument("--shards", default=None,
+                    help="comma-separated shard counts (e.g. '1,2,4'): "
+                         "re-run the SHARD_SMOKE experiments at each and "
+                         "require byte-identical tables")
     args = ap.parse_args(argv)
     schedulers = [s for s in args.schedulers.split(",") if s]
+    shard_counts = ([int(s) for s in args.shards.split(",") if s]
+                    if args.shards else [])
 
     failures: list[str] = []
     total_wall = 0.0
@@ -121,6 +138,20 @@ def main(argv: list[str] | None = None) -> int:
                 f"{eid}: event counts differ (serial "
                 f"{serial_meta['events']} vs parallel {par_meta['events']})")
 
+        # 3. sharded-core exactness matrix (tables only; the sharded core
+        # schedules extra boundary events, so counts may differ)
+        if shard_counts and eid in SHARD_SMOKE:
+            for n in shard_counts:
+                sh_table, sh_meta = _run_with_scheduler(
+                    schedulers[0], eid, 1, {**kwargs, "shards": n})
+                ok = str(sh_table) == str(serial_table)
+                print(f"  shards={n}: {sh_meta['wall_s']:.2f}s, "
+                      f"{'byte-identical' if ok else 'MISMATCH'}")
+                if not ok:
+                    failures.append(
+                        f"{eid}: shards={n} table differs from serial "
+                        f"(sharded-core exactness violation)")
+
         if args.json is not None:
             path = write_bench_json(args.json, par_table, par_meta)
             print(f"  wrote {path}")
@@ -151,8 +182,9 @@ def main(argv: list[str] | None = None) -> int:
 
         if args.history is not None:
             # check before appending, so today's slow run can't raise
-            # tomorrow's floor
-            msg = trend_check(args.history, eid, par_meta["events_per_s"])
+            # tomorrow's floor; only same-configuration entries count
+            msg = trend_check(args.history, eid, par_meta["events_per_s"],
+                              kwargs=par_meta["kwargs"])
             if msg is not None:
                 failures.append(msg)
             entry = append_entry(args.history, par_meta)

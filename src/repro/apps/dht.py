@@ -1,0 +1,115 @@
+"""Distributed hash table insert motif — the large-scale RMA pattern.
+
+Quo Vadis MPI RMA catalogs the DHT as the canonical irregular one-sided
+workload: every rank owns a block of the table and inserts into *remote*
+blocks chosen by a hash, so each process sees notifications arrive from
+changing, unpredictable sources — the high fan-in case for the Unexpected
+Queue's wildcard matching (§IV-B).
+
+The motif runs ``rounds`` insert rounds.  In round ``r`` every rank puts
+one 8-byte record into the table block of ``(rank + shift_r) % size``
+(``shift_r`` a per-round constant, so each round is a bijection and every
+rank receives exactly one record per round), tagging the notification
+with the round number.  Producers run ahead without waiting — records
+pile up in the consumer's UQ — and each rank drains all ``rounds``
+notifications at the end through a single wildcard (``ANY_SOURCE``,
+``ANY_TAG``) persistent request, verifying the (source, tag) multiset
+and the slot contents.
+
+A small per-rank random compute jitter decorrelates the producers the
+way real insert work would; all ranks stay active the whole run — the
+all-ranks-busy, event-dense profile (opposite of the stencil's latency
+chain) used by the sharded weak-scaling sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import ClusterConfig, run_ranks
+from repro.errors import ReproError
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+
+#: multiplicative hash constant (Knuth) for the per-round shift
+_HASH = 2654435761
+
+
+def round_shift(r: int, size: int) -> int:
+    """Per-round ring shift in [1, size): bijective, never self-directed."""
+    if size < 2:
+        return 0
+    return 1 + (r * _HASH) % (size - 1)
+
+
+def _dht_program(ctx, rounds: int, verify: bool, jitter_us: float):
+    rank, size = ctx.rank, ctx.size
+    win = yield from ctx.win_allocate(rounds * 8)
+    req = yield from ctx.na.notify_init(win, source=ANY_SOURCE, tag=ANY_TAG)
+    yield from ctx.barrier()
+    t0 = ctx.now
+
+    # Produce: one record per round into the round's target block.
+    for r in range(rounds):
+        if jitter_us > 0.0:
+            yield from ctx.compute(ctx.rng.uniform(0.0, jitter_us))
+        target = (rank + round_shift(r, size)) % size
+        record = np.array([float(rank * rounds + r)])
+        yield from ctx.na.put_notify(win, record, target, r * 8,
+                                     tag=r & 0xFFFF)
+        yield from win.flush_local(target)
+
+    # Drain: every round's bijection sends this rank exactly one record.
+    seen: list[tuple[int, int]] = []
+    for _ in range(rounds):
+        yield from ctx.na.start(req)
+        st = yield from ctx.na.wait(req)
+        seen.append((st.source, st.tag))
+    elapsed = ctx.now - t0
+
+    ok = True
+    if verify:
+        expect = sorted((rank - round_shift(r, size)) % size
+                        for r in range(rounds))
+        got_sources = sorted(s for s, _ in seen)
+        if got_sources != expect:
+            raise ReproError(
+                f"rank {rank}: source multiset {got_sources} != {expect}")
+        tags = sorted(t for _, t in seen)
+        if tags != sorted(r & 0xFFFF for r in range(rounds)):
+            raise ReproError(f"rank {rank}: tag multiset off: {tags}")
+        table = win.local(np.float64, count=rounds, mode="r")
+        for r in range(rounds):
+            source = (rank - round_shift(r, size)) % size
+            want = float(source * rounds + r)
+            if table[r] != want:
+                raise ReproError(
+                    f"rank {rank} slot {r}: {table[r]} != {want} "
+                    f"(from rank {source})")
+    yield from ctx.barrier()
+    return (elapsed, ok, seen)
+
+
+def run_dht(nranks: int, rounds: int = 16, verify: bool = False,
+            jitter_us: float = 0.4,
+            config: ClusterConfig | None = None) -> dict:
+    """Run the DHT insert motif; returns timing and insert-rate metrics."""
+    if nranks < 2:
+        raise ReproError("the DHT motif needs at least 2 ranks")
+    if rounds < 1:
+        raise ReproError(f"rounds must be >= 1, got {rounds}")
+    if config is None:
+        config = ClusterConfig(nranks=nranks)
+    results, cluster = run_ranks(
+        nranks,
+        lambda ctx: _dht_program(ctx, rounds, verify, jitter_us),
+        config=config)
+    elapsed = max(r[0] for r in results)
+    inserts = nranks * rounds
+    return {
+        "nranks": nranks,
+        "rounds": rounds,
+        "inserts": inserts,
+        "time_us": elapsed,
+        "minserts_per_s": inserts / elapsed if elapsed else 0.0,
+        "verified": verify and all(r[1] for r in results),
+    }

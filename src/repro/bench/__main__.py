@@ -10,6 +10,11 @@ Options:
     Fan each experiment's sweep points over ``N`` worker processes (see
     :mod:`repro.bench.runner`).  The printed tables are byte-identical to
     a serial run; only wall time changes.
+``--shards N``
+    Run each individual sweep point on the sharded conservative-parallel
+    DES core with ``N`` shard workers (see :mod:`repro.sim.shard`) —
+    within-point parallelism, orthogonal to ``--jobs``.  Tables stay
+    byte-identical (the sharded core is exact); only wall time changes.
 ``--json DIR``
     Additionally write a machine-readable ``BENCH_<id>.json`` per
     experiment under ``DIR`` (rows plus wall-time and events/sec metadata).
@@ -51,6 +56,7 @@ def main(argv: list[str]) -> int:
         argv, md_path = _pop_option(argv, "--markdown")
         argv, json_dir = _pop_option(argv, "--json")
         argv, jobs_s = _pop_option(argv, "--jobs")
+        argv, shards_s = _pop_option(argv, "--shards")
         argv, history_dir = _pop_option(argv, "--history")
     except SystemExit as exc:
         print(exc, file=sys.stderr)
@@ -62,6 +68,12 @@ def main(argv: list[str]) -> int:
         jobs = int(jobs_s) if jobs_s is not None else 1
     except ValueError:
         print(f"--jobs needs an integer, got {jobs_s!r}", file=sys.stderr)
+        return 2
+    try:
+        shards = int(shards_s) if shards_s is not None else 0
+    except ValueError:
+        print(f"--shards needs an integer, got {shards_s!r}",
+              file=sys.stderr)
         return 2
     if trend:
         from repro.bench.history import render_trend
@@ -77,14 +89,14 @@ def main(argv: list[str]) -> int:
     md_parts = ["# Regenerated experiment tables", ""]
     for eid in ids:
         t0 = time.perf_counter()
-        table, meta = run_experiment(eid, jobs=jobs,
+        table, meta = run_experiment(eid, jobs=jobs, shards=shards,
                                      history_dir=history_dir)
         dt = time.perf_counter() - t0
         print(table)
         print(f"[{eid} regenerated in {dt:.1f}s wall; "
               f"{meta['events']:,} events, "
               f"{meta['events_per_s']:,.0f} events/s, "
-              f"jobs={meta['jobs']}]")
+              f"jobs={meta['jobs']}, shards={meta['shards']}]")
         print()
         md_parts.append(to_markdown(table))
         md_parts.append("")

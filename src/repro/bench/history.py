@@ -14,11 +14,26 @@ Ledger entry schema (one JSON object per line)::
 
     {"ts": "2026-08-08T12:00:00Z", "rev": "835a47b",
      "experiment": "fig1", "scheduler": "calendar", "jobs": 2,
-     "events": 371560, "wall_s": 1.64, "events_per_s": 226305.0}
+     "shards": 0, "events": 371560, "wall_s": 1.64,
+     "events_per_s": 226305.0, "cp_s": 0.0, "events_per_s_cp": 0.0,
+     "kwargs": {...}}
+
+``cp_s`` / ``events_per_s_cp`` are nonzero only for runs that executed
+on the sharded conservative-parallel core: critical-path CPU seconds
+(slowest worker + coordinator, see
+:func:`repro.sim.shard.critical_path_seconds`) and the events/sec over
+that denominator — the aggregate fleet rate, i.e. the projected
+wall-clock rate on a machine with one dedicated core per shard.  The
+raw ``wall_s``/``events_per_s`` stay exactly as measured on the host.
 
 Entries are environment-sensitive (they record wall time on whatever
 machine ran them), so the *check* compares against the best of a recent
-window rather than a single predecessor.
+window rather than a single predecessor.  One ledger file can hold runs
+of *different configurations* of an experiment (the smoke config next to
+a 10k-rank weak-scaling point): entries record their ``kwargs``, and
+:func:`trend_check` only compares entries whose configuration matches
+the measurement's — a huge sharded sweep can't raise the floor the tiny
+CI smoke config is held to.
 """
 
 from __future__ import annotations
@@ -71,9 +86,13 @@ def append_entry(dir_path: str, meta: dict[str, Any], *,
         "experiment": meta["experiment"],
         "scheduler": meta.get("scheduler"),
         "jobs": meta["jobs"],
+        "shards": meta.get("shards", 0),
         "events": meta["events"],
         "wall_s": round(float(meta["wall_s"]), 4),
         "events_per_s": round(float(meta["events_per_s"]), 1),
+        "cp_s": round(float(meta.get("cp_s", 0.0)), 4),
+        "events_per_s_cp": round(float(meta.get("events_per_s_cp", 0.0)), 1),
+        "kwargs": meta.get("kwargs"),
     }
     os.makedirs(dir_path, exist_ok=True)
     with open(history_path(dir_path, meta["experiment"]), "a") as fh:
@@ -98,14 +117,20 @@ def load_history(dir_path: str, eid: str) -> list[dict[str, Any]]:
 
 def trend_check(dir_path: str, eid: str, events_per_s: float,
                 tolerance: float = TREND_TOLERANCE,
-                window: int = TREND_WINDOW) -> str | None:
+                window: int = TREND_WINDOW,
+                kwargs: dict[str, Any] | None = None) -> str | None:
     """Compare a fresh measurement against the recent ledger.
 
     Returns None when the measurement is acceptable (or there is no
     history to compare against), else a human-readable failure message.
-    The floor is ``best(last window entries) / tolerance``.
+    The floor is ``best(last window entries) / tolerance``.  With
+    ``kwargs`` given, only ledger entries recording the same experiment
+    configuration count (entries predating config recording match any).
     """
     entries = load_history(dir_path, eid)
+    if kwargs is not None:
+        entries = [e for e in entries
+                   if "kwargs" not in e or e["kwargs"] == kwargs]
     if not entries:
         return None
     recent = entries[-window:]
@@ -128,12 +153,28 @@ def _sparkline(values: list[float]) -> str:
         _SPARKS[int((v - lo) / span * (len(_SPARKS) - 1))] for v in values)
 
 
+def _ledger_order(found: list[str]) -> list[str]:
+    """Stable experiment order for the trend report.
+
+    Registry order first (the paper's figure order, then extensions like
+    ``shard_weak``), then any ledger files for experiments no longer in
+    the registry, alphabetically — so renders don't reshuffle as ledger
+    files appear or experiments are added.
+    """
+    from repro.bench.figures import ALL_EXPERIMENTS
+    present = set(found)
+    ordered = [e for e in ALL_EXPERIMENTS if e in present]
+    ordered += sorted(present - set(ALL_EXPERIMENTS))
+    return ordered
+
+
 def render_trend(dir_path: str, eids: list[str] | None = None) -> str:
     """Plain-text trend report over the ledger (for ``--trend``)."""
     if eids is None:
-        eids = sorted(
+        found = [
             f[:-len(".jsonl")] for f in os.listdir(dir_path)
-            if f.endswith(".jsonl")) if os.path.isdir(dir_path) else []
+            if f.endswith(".jsonl")] if os.path.isdir(dir_path) else []
+        eids = _ledger_order(found)
     lines: list[str] = []
     for eid in eids:
         entries = load_history(dir_path, eid)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import inspect
 import json
+import multiprocessing.pool as _mp_pool
 import os
 import random
 import time
@@ -45,15 +46,53 @@ SWEEP_PARAMS: dict[str, str] = {
     "fig4b": "nranks_list",
     "fig4c": "nranks_list",
     "fig5": "nranks_list",
+    "shard_weak": "nranks_list",
 }
 
 #: scaled-down configurations used by the CI bench-smoke job and the
-#: regression baselines under benchmarks/baselines/.
+#: regression baselines under benchmarks/baselines/.  Every experiment in
+#: :data:`repro.bench.figures.ALL_EXPERIMENTS` has an entry so each one
+#: gets a committed baseline and a seeded trend-ledger series.
 SMOKE_CONFIGS: dict[str, dict[str, Any]] = {
     "fig1": {"nranks_list": (2, 4, 8), "scale": 0.25},
+    "fig2": {},
     "fig3a": {"sizes": (8, 512, 32768), "iters": 10},
+    "fig3b": {"sizes": (8, 512, 32768), "iters": 10},
+    "fig3c": {"sizes": (8, 512, 32768), "iters": 10},
+    "fig4a": {"sizes": (64, 4096, 65536), "iters": 5},
+    "fig4b": {"nranks_list": (2, 4), "scale": 0.1},
     "fig4c": {"nranks_list": (4, 16), "reps": 3},
+    "fig5": {"nranks_list": (2, 4), "base_tiles": 4},
+    "table1": {"iters": 10},
+    "sec5": {},
+    "shard_weak": {"nranks_list": (32, 64), "shards": 2, "rounds": 4,
+                   "rows": 8, "cols_per_rank": 8, "ranks_per_node": 4},
 }
+
+
+def _worker_pool(ctx, processes: int) -> _mp_pool.Pool:
+    """A Pool whose workers are *not* daemonic.
+
+    Plain ``Pool`` workers are daemons and may not have children, which
+    would forbid a sweep point from forking shard workers — this pool
+    lets ``jobs=N`` (across points) compose with ``shards=M`` (within a
+    point).  The pool machinery force-sets ``daemon = True`` on each
+    worker, so the process class itself must swallow the flag.  The
+    context manager still reaps the workers on exit.
+    """
+    class _NoDaemonProcess(ctx.Process):
+        @property
+        def daemon(self):
+            return False
+
+        @daemon.setter
+        def daemon(self, value):
+            pass
+
+    class _NoDaemonContext(type(ctx)):
+        Process = _NoDaemonProcess
+
+    return _mp_pool.Pool(processes, context=_NoDaemonContext())
 
 
 def _point_seed(eid: str, index: int) -> int:
@@ -61,22 +100,46 @@ def _point_seed(eid: str, index: int) -> int:
     return zlib.crc32(f"{eid}:{index}".encode())
 
 
-def _run_point(payload: tuple[str, dict[str, Any], int]) -> dict[str, Any]:
+def _run_point(
+        payload: tuple[str, dict[str, Any], int, int]) -> dict[str, Any]:
     """Worker body: run one experiment (sub)call and return its table parts.
 
-    Top-level so it pickles under any multiprocessing start method.
+    Top-level so it pickles under any multiprocessing start method.  A
+    nonzero ``shards`` pins ``REPRO_SHARDS`` for the call, so every
+    cluster the driver builds (unless it sets ``ClusterConfig.shards``
+    itself) executes on the sharded conservative-parallel core.
     """
-    eid, kwargs, seed = payload
+    eid, kwargs, seed, shards = payload
     random.seed(seed)
     np.random.seed(seed & 0xFFFFFFFF)
-    before = events_scheduled()
-    table = ALL_EXPERIMENTS[eid](**kwargs)
+    prev = os.environ.get("REPRO_SHARDS")
+    cp0 = 0.0
+    if shards:
+        from repro.sim.shard import critical_path_seconds
+        cp0 = critical_path_seconds()
+        os.environ["REPRO_SHARDS"] = str(shards)
+    try:
+        before = events_scheduled()
+        table = ALL_EXPERIMENTS[eid](**kwargs)
+        events = events_scheduled() - before
+    finally:
+        if shards:
+            if prev is None:
+                del os.environ["REPRO_SHARDS"]
+            else:
+                os.environ["REPRO_SHARDS"] = prev
+    if shards:
+        from repro.sim.shard import critical_path_seconds
+        cp_s = critical_path_seconds() - cp0
+    else:
+        cp_s = 0.0
     return {
         "title": table.title,
         "columns": table.columns,
         "rows": table.rows,
         "notes": table.notes,
-        "events": events_scheduled() - before,
+        "events": events,
+        "cp_s": cp_s,
     }
 
 
@@ -95,7 +158,7 @@ def _sweep_points(eid: str, kwargs: dict[str, Any]):
 
 
 def run_experiment(eid: str, jobs: int = 1,
-                   history_dir: str | None = None,
+                   history_dir: str | None = None, shards: int = 0,
                    **kwargs: Any) -> tuple[Table, dict[str, Any]]:
     """Run one experiment, optionally fanning sweep points over ``jobs``
     worker processes.  Returns ``(table, meta)``.
@@ -104,17 +167,35 @@ def run_experiment(eid: str, jobs: int = 1,
     call regardless of ``jobs``.  ``meta`` carries ``wall_s`` (parent-side
     wall time), ``events`` (scheduler events simulated across all workers),
     ``events_per_s``, ``jobs`` (pool size actually used), ``scheduler``
-    (the active event-scheduler implementation), and the per-point
-    ``seeds``.  With ``history_dir`` set, the metadata is appended to the
-    events/sec trend ledger (see :mod:`repro.bench.history`).
+    (the active event-scheduler implementation), ``shards``, the
+    per-point ``seeds``, and — for points executed on the sharded core —
+    ``cp_s``/``events_per_s_cp``, the critical-path CPU seconds and the
+    aggregate fleet rate over them (the projected wall-clock rate with
+    one dedicated core per shard; 0.0 for serial runs).  With
+    ``history_dir`` set, the metadata is appended to the events/sec
+    trend ledger (see :mod:`repro.bench.history`).
+
+    ``shards`` selects *within-point* parallelism: each individual sweep
+    point runs on the sharded conservative-parallel DES core
+    (:mod:`repro.sim.shard`) with that many shard workers — orthogonal to
+    ``jobs``, which fans independent points across a pool.  When the
+    driver itself takes a ``shards`` keyword (e.g. ``shard_weak``) the
+    value is passed straight through; otherwise it is applied via
+    ``REPRO_SHARDS`` so every cluster the driver builds picks it up.
+    Either way the table stays byte-identical (the sharded core is
+    exact), so the merge and baseline contracts hold at any shard count.
     """
     if eid not in ALL_EXPERIMENTS:
         raise KeyError(f"unknown experiment {eid!r}; "
                        f"available: {list(ALL_EXPERIMENTS)}")
+    if shards:
+        driver_params = inspect.signature(ALL_EXPERIMENTS[eid]).parameters
+        if "shards" in driver_params:
+            kwargs["shards"] = shards
     param, values = _sweep_points(eid, kwargs)
     t0 = time.perf_counter()
     if jobs <= 1 or param is None or len(values) <= 1:
-        payloads = [(eid, dict(kwargs), _point_seed(eid, 0))]
+        payloads = [(eid, dict(kwargs), _point_seed(eid, 0), shards)]
         results = [_run_point(p) for p in payloads]
         used_jobs = 1
     else:
@@ -122,7 +203,7 @@ def run_experiment(eid: str, jobs: int = 1,
         for i, v in enumerate(values):
             sub = dict(kwargs)
             sub[param] = (v,)
-            payloads.append((eid, sub, _point_seed(eid, i)))
+            payloads.append((eid, sub, _point_seed(eid, i), shards))
         try:
             import multiprocessing as mp
             ctx = mp.get_context("fork")
@@ -130,7 +211,7 @@ def run_experiment(eid: str, jobs: int = 1,
             import multiprocessing as mp
             ctx = mp.get_context()
         used_jobs = min(jobs, len(payloads))
-        with ctx.Pool(used_jobs) as pool:
+        with _worker_pool(ctx, used_jobs) as pool:
             results = pool.map(_run_point, payloads)
     wall = time.perf_counter() - t0
 
@@ -139,12 +220,20 @@ def run_experiment(eid: str, jobs: int = 1,
     for r in results:
         table.rows.extend(r["rows"])
     events = sum(r["events"] for r in results)
+    # critical-path CPU seconds accumulated by sharded runs: the honest
+    # parallel-throughput denominator when the host has fewer cores than
+    # shards (see repro.sim.shard.critical_path_seconds) — 0.0 when no
+    # point executed on the sharded core
+    cp_s = sum(r.get("cp_s", 0.0) for r in results)
     meta = {
         "experiment": eid,
         "jobs": used_jobs,
+        "shards": shards,
         "wall_s": wall,
         "events": events,
         "events_per_s": events / wall if wall > 0 else 0.0,
+        "cp_s": cp_s,
+        "events_per_s_cp": events / cp_s if cp_s > 0 else 0.0,
         "scheduler": scheduler_name(),
         "seeds": [p[2] for p in payloads],
         "kwargs": {k: _jsonable(v) for k, v in kwargs.items()},
@@ -175,6 +264,7 @@ def bench_payload(table: Table, meta: dict[str, Any]) -> dict[str, Any]:
         "rows": [[_jsonable(v) for v in row] for row in table.rows],
         "notes": table.notes,
         "jobs": meta["jobs"],
+        "shards": meta.get("shards", 0),
         "wall_s": meta["wall_s"],
         "events": meta["events"],
         "events_per_s": meta["events_per_s"],

@@ -68,6 +68,13 @@ class ClusterConfig:
     #: The ``REPRO_SANITIZE=1`` environment variable (set by
     #: ``pytest --sanitize``) force-enables it.
     sanitize: bool = False
+    #: sharded conservative-parallel execution (see ``repro.sim.shard``):
+    #: ``N > 1`` partitions the ranks node-aligned over N worker processes,
+    #: ``1`` pins the serial core, and ``0`` (the default) resolves from
+    #: the ``REPRO_SHARDS`` environment variable (falling back to serial).
+    #: Only :func:`run_ranks` dispatches to the sharded core; driving a
+    #: :class:`Cluster` directly always runs serial.
+    shards: int = 0
 
 
 class Rank:
@@ -163,35 +170,56 @@ class Cluster:
         self.machine = Machine(config.nranks, config.ranks_per_node,
                                nodes_per_group=config.nodes_per_group)
         self.tracer = Tracer(enabled=config.trace)
-        self.sanitizer = None
-        if config.sanitize or os.environ.get("REPRO_SANITIZE") == "1":
-            from repro.sanitizer import Sanitizer
-            self.sanitizer = Sanitizer(self.engine, config.nranks,
-                                       tracer=self.tracer)
-        self.spaces = [AddressSpace(r, config.space_bytes)
-                       for r in range(config.nranks)]
+        self.sanitizer = self._build_sanitizer()
+        self.spaces = self._build_spaces()
         if self.sanitizer is not None:
             for sp in self.spaces:
                 sp.san = self.sanitizer
                 sp.poison_on_free = True
-        self.fabric = Fabric(self.engine, self.machine, self.spaces,
-                             params=config.params, tracer=self.tracer,
-                             seed=config.seed, fault_plan=config.faults,
-                             sanitizer=self.sanitizer)
-        self.win_registry = WindowRegistry(config.nranks)
-        self.ranks = [Rank(self, r) for r in range(config.nranks)]
-        endpoints = []
+        self.fabric = self._build_fabric()
+        self.win_registry = self._build_win_registry()
+        self.ranks = self._build_ranks()
+        self._wire_ranks()
+        if config.async_progress:
+            self.fabric.on_sys_arrival = self._async_progress_hook
+        self._ran = False
+
+    # -- build hooks (overridden by the sharded core) -------------------
+    def _build_sanitizer(self):
+        if self.cfg.sanitize or os.environ.get("REPRO_SANITIZE") == "1":
+            from repro.sanitizer import Sanitizer
+            return Sanitizer(self.engine, self.cfg.nranks,
+                             tracer=self.tracer)
+        return None
+
+    def _build_spaces(self):
+        return [AddressSpace(r, self.cfg.space_bytes)
+                for r in range(self.cfg.nranks)]
+
+    def _build_fabric(self) -> Fabric:
+        return Fabric(self.engine, self.machine, self.spaces,
+                      params=self.cfg.params, tracer=self.tracer,
+                      seed=self.cfg.seed, fault_plan=self.cfg.faults,
+                      sanitizer=self.sanitizer)
+
+    def _build_win_registry(self) -> WindowRegistry:
+        return WindowRegistry(self.cfg.nranks)
+
+    def _build_ranks(self):
+        return [Rank(self, r) for r in range(self.cfg.nranks)]
+
+    def _endpoint_table(self):
+        return [ctx.endpoint for ctx in self.ranks]
+
+    def _wire_ranks(self) -> None:
         for ctx in self.ranks:
             ctx.endpoint = MpiEndpoint(ctx)
-            endpoints.append(ctx.endpoint)
+        endpoints = self._endpoint_table()
         for ctx in self.ranks:
             ctx.comm = Communicator(ctx.endpoint, endpoints)
             ctx.na = NotifyEngine(ctx)
             ctx.counters = CounterEngine(ctx)
             ctx.gaspi = OverwriteEngine(ctx)
-        if config.async_progress:
-            self.fabric.on_sys_arrival = self._async_progress_hook
-        self._ran = False
 
     # ------------------------------------------------------------------
     def _async_progress_hook(self, target: int, pkt: SysPacket) -> None:
@@ -275,17 +303,65 @@ class Cluster:
         return out
 
 
+def effective_shards(config: ClusterConfig) -> int:
+    """Resolve the shard count for one run (1 = serial).
+
+    ``config.shards`` wins when set (>= 1); ``0`` consults the
+    ``REPRO_SHARDS`` environment variable.  Features the sharded core
+    does not model (fault injection, lossy fabrics, ``reliable=False``)
+    raise when sharding was requested explicitly and quietly fall back
+    to serial when it came from the environment — so exporting
+    ``REPRO_SHARDS`` never changes what an incompatible run computes.
+    The count is clamped to the node count (shards are node-aligned).
+    """
+    n = config.shards
+    explicit = n > 1
+    if n == 0:
+        try:
+            n = int(os.environ.get("REPRO_SHARDS", "1"))
+        except ValueError:
+            n = 1
+    if n <= 1:
+        return 1
+    reasons = []
+    if config.faults is not None and config.faults.active:
+        reasons.append("fault injection")
+    if config.params.drop_rate > 0:
+        reasons.append("drop_rate > 0")
+    if not config.params.reliable:
+        reasons.append("reliable=False")
+    if reasons:
+        if explicit:
+            raise SimulationError(
+                f"shards={config.shards} is incompatible with "
+                f"{', '.join(reasons)} (the sharded core models a "
+                f"reliable, fault-free fabric)")
+        return 1
+    nnodes = (config.nranks + config.ranks_per_node - 1) \
+        // config.ranks_per_node
+    return max(1, min(n, nnodes))
+
+
 def run_ranks(nranks: int,
               program: Callable[[Rank], Generator] | Sequence[Callable],
               args: Sequence[Any] = (),
               config: ClusterConfig | None = None,
-              **kw) -> tuple[list[Any], Cluster]:
+              **kw) -> tuple[list[Any], Any]:
     """Convenience: build a cluster, run ``program`` on ``nranks`` ranks.
 
-    Returns ``(per_rank_results, cluster)``.
+    Returns ``(per_rank_results, cluster)``.  With sharding in effect
+    (``config.shards > 1`` or ``REPRO_SHARDS``, see
+    :func:`effective_shards`) the run is executed by the conservative-
+    parallel core in :mod:`repro.sim.shard` and the second element is a
+    :class:`~repro.sim.shard.ShardedRun` summary instead of a
+    :class:`Cluster` (same ``.time`` / ``.stats()`` / ``.cfg`` surface).
     """
     if config is None:
         config = ClusterConfig(nranks=nranks, **kw)
+    shards = effective_shards(config)
+    if shards > 1:
+        from repro.sim.shard import run_sharded
+        return run_sharded(program, args, config, shards)
     cluster = Cluster(config)
     results = cluster.run(program, args=args)
     return results, cluster

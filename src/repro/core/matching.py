@@ -11,8 +11,10 @@ request structure) — the paper's two-compulsory-miss argument.
 from __future__ import annotations
 
 import heapq
-from collections import deque
 from dataclasses import dataclass
+from itertools import islice
+
+import numpy as np
 
 from repro.errors import MatchingError
 from repro.memory.address import Region
@@ -21,6 +23,9 @@ from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 
 #: default UQ capacity in entries
 UQ_SLOTS = 512
+
+#: below this many queued entries a scalar scan beats the numpy setup cost
+_VECTOR_MIN = 16
 
 
 @dataclass
@@ -50,7 +55,15 @@ class UnexpectedQueue:
         self.region = region
         self.cache = cache
         self.slots = slots
-        self._entries: deque[UqEntry] = deque()
+        self._entries: list[UqEntry] = []
+        # Mirror columns of (win_id, source, tag) kept index-aligned with
+        # ``_entries`` so a lookup can compare the whole queue in one
+        # vectorized pass instead of a Python loop per entry — the §V
+        # high-fan-in case queues thousands of wildcard notifications.
+        # Capacity is exactly ``slots`` (append raises on overflow).
+        self._win = np.empty(slots, dtype=np.int64)
+        self._src = np.empty(slots, dtype=np.int64)
+        self._tag = np.empty(slots, dtype=np.int64)
         # Free-slot list, not a rotating cursor: entries are removed in
         # match order, not FIFO order, so after wraparound a cursor would
         # hand a live entry's slot to a new one and corrupt the per-slot
@@ -76,9 +89,55 @@ class UnexpectedQueue:
         slot_addr = self.region.addr + slot * CACHE_LINE
         entry = UqEntry(win_id, source, tag, nbytes, time, slot_addr,
                         san=san)
+        n = len(self._entries)
+        self._win[n] = win_id
+        self._src[n] = source
+        self._tag[n] = tag
         self._entries.append(entry)
         self.appended += 1
         self.cache.touch(slot_addr, CACHE_LINE, label="na-uq-append")
+        return entry
+
+    def _first_match(self, win_id: int | None, source: int,
+                     tag: int) -> int:
+        """Index of the oldest entry matching the triple, or -1.
+
+        One vectorized compare over the mirror columns — the textbook
+        predicate (window equality, then source/tag unless wildcarded),
+        evaluated for the whole queue at once.
+        """
+        n = len(self._entries)
+        if win_id is not None:
+            mask = self._win[:n] == win_id
+            if source != ANY_SOURCE:
+                mask &= self._src[:n] == source
+            if tag != ANY_TAG:
+                mask &= self._tag[:n] == tag
+        elif source != ANY_SOURCE:
+            mask = self._src[:n] == source
+            if tag != ANY_TAG:
+                mask &= self._tag[:n] == tag
+        elif tag != ANY_TAG:
+            mask = self._tag[:n] == tag
+        else:
+            return 0 if n else -1
+        hits = np.flatnonzero(mask)
+        return int(hits[0]) if hits.size else -1
+
+    def _remove_at(self, idx: int) -> UqEntry:
+        entries = self._entries
+        entry = entries.pop(idx)
+        n = len(entries)
+        if idx < n:
+            # Close the gap in the mirror columns (numpy buffers
+            # overlapping slice assignment, so in-place shift is safe).
+            self._win[idx:n] = self._win[idx + 1:n + 1]
+            self._src[idx:n] = self._src[idx + 1:n + 1]
+            self._tag[idx:n] = self._tag[idx + 1:n + 1]
+        self.matched += 1
+        heapq.heappush(
+            self._free_slots,
+            (entry.slot_addr - self.region.addr) // CACHE_LINE)
         return entry
 
     def find_and_remove(self, req) -> UqEntry | None:
@@ -86,26 +145,46 @@ class UnexpectedQueue:
         # Touching the head (pointer + first slots) is the one compulsory
         # queue miss; scanning further entries touches their slots.
         self.cache.touch(self.head_addr, 8, label="na-uq-head")
-        for i, entry in enumerate(self._entries):
-            self.cache.touch(entry.slot_addr, CACHE_LINE, label="na-uq-scan")
-            if req.matches(entry.win_id, entry.source, entry.tag):
-                del self._entries[i]
-                self.matched += 1
-                heapq.heappush(
-                    self._free_slots,
-                    (entry.slot_addr - self.region.addr) // CACHE_LINE)
-                return entry
-        return None
+        entries = self._entries
+        win = getattr(req, "win", None)
+        win_id = win.id if win is not None else getattr(req, "win_id", None)
+        source = getattr(req, "source", None)
+        tag = getattr(req, "tag", None)
+        if (len(entries) < _VECTOR_MIN or win_id is None
+                or source is None or tag is None):
+            # Short queue or a request shape the bulk compare cannot
+            # introspect: the original scalar scan.
+            for i, entry in enumerate(entries):
+                self.cache.touch(entry.slot_addr, CACHE_LINE,
+                                 label="na-uq-scan")
+                if req.matches(entry.win_id, entry.source, entry.tag):
+                    return self._remove_at(i)
+            return None
+        idx = self._first_match(win_id, source, tag)
+        # Identical cache accounting to the scalar scan: every slot up to
+        # and including the match (or the whole queue on a miss) is
+        # touched in arrival order.
+        stop = idx + 1 if idx >= 0 else len(entries)
+        touch = self.cache.touch
+        for entry in islice(entries, stop):
+            touch(entry.slot_addr, CACHE_LINE, label="na-uq-scan")
+        if idx < 0:
+            return None
+        return self._remove_at(idx)
 
     def peek_match(self, win_id: int | None, source: int,
                    tag: int) -> UqEntry | None:
         """Probe-style lookup without consuming (no cache charging)."""
-        for entry in self._entries:
-            if win_id is not None and entry.win_id != win_id:
-                continue
-            if source != ANY_SOURCE and entry.source != source:
-                continue
-            if tag != ANY_TAG and entry.tag != tag:
-                continue
-            return entry
-        return None
+        entries = self._entries
+        if len(entries) < _VECTOR_MIN:
+            for entry in entries:
+                if win_id is not None and entry.win_id != win_id:
+                    continue
+                if source != ANY_SOURCE and entry.source != source:
+                    continue
+                if tag != ANY_TAG and entry.tag != tag:
+                    continue
+                return entry
+            return None
+        idx = self._first_match(win_id, source, tag)
+        return entries[idx] if idx >= 0 else None

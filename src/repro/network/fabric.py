@@ -26,7 +26,6 @@ import numpy as np
 
 from repro.errors import NetworkError
 from repro.faults import FaultInjector, FaultPlan, TransferFate
-from repro.memory.address import AddressSpace
 from repro.network.cq import CompletionQueue, CqEntry
 from repro.network.loggp import TransportParams
 from repro.network.topology import Machine
@@ -158,11 +157,12 @@ class Fabric:
     """All NICs plus the machinery to execute operations between them."""
 
     def __init__(self, engine: Engine, machine: Machine,
-                 spaces: list[AddressSpace],
+                 spaces,
                  params: TransportParams | None = None,
                  tracer: Tracer | None = None, seed: int = 42,
                  fault_plan: FaultPlan | None = None,
-                 sanitizer=None):
+                 sanitizer=None,
+                 local_ranks: list[int] | None = None):
         if len(spaces) != machine.nranks:
             raise NetworkError("one address space per rank required")
         self.engine = engine
@@ -181,7 +181,16 @@ class Fabric:
             self.faults = FaultInjector(fault_plan, seed,
                                         tracer=self.tracer)
         self._op_seq = itertools.count(1)
-        self.nics = [Nic(self, r) for r in range(machine.nranks)]
+        if local_ranks is None:
+            # Serial fabric: a dense NIC list, exactly as before.
+            self.nics = [Nic(self, r) for r in range(machine.nranks)]
+        else:
+            # Shard-local fabric slice: NIC state exists only for the
+            # shard's own ranks; any other index is a protocol bug and
+            # fails loudly instead of silently simulating remote state.
+            from repro.network.shardlink import RankTable
+            self.nics = RankTable({r: Nic(self, r) for r in local_ranks},
+                                  machine.nranks, "nic")
         #: optional hook invoked at sys-packet arrival (async progress)
         self.on_sys_arrival: Callable[[int, SysPacket], None] | None = None
 

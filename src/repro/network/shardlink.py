@@ -1,0 +1,187 @@
+"""Inter-shard routing and the serializable cross-shard packet type.
+
+The sharded DES core (:mod:`repro.sim.shard`) partitions ranks across
+worker processes, each owning a shard-local engine + fabric slice.  This
+module holds the pieces both sides of that boundary agree on:
+
+* :class:`ShardRouting` — the node-aligned rank→shard partition and the
+  conservative *lookahead* derived from the LogGP transport parameters;
+* :class:`ShardPacket` — the one serializable message type that crosses
+  shard boundaries (picklable: plain ints/floats/strs/dicts plus numpy
+  byte payloads);
+* :class:`RankTable` — a sparse stand-in for the per-rank lists (spaces,
+  NICs, ranks, endpoints) that keeps ``len()`` equal to the global rank
+  count while holding only the shard's local entries, and raises a clear
+  error on any cross-shard direct object access.
+
+Shards are split on *node* boundaries, so the shared-memory transport
+never crosses a shard: every cross-shard transfer rides uGNI (FMA/BTE),
+whose minimum wire latency is the safe lookahead window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.network.loggp import TransportParams
+from repro.network.topology import Machine
+
+
+class RankTable:
+    """Sparse per-rank table: local entries only, global ``len()``.
+
+    Indexing a rank outside the shard raises :class:`NetworkError` naming
+    the table — the diagnostic for simulator code that reaches across the
+    shard boundary through direct object access (e.g. the counter engine's
+    ``ctx.cluster.ranks[source]``) instead of the fabric.
+    """
+
+    __slots__ = ("_items", "_nranks", "_kind")
+
+    def __init__(self, items: dict[int, Any], nranks: int, kind: str):
+        self._items = items
+        self._nranks = nranks
+        self._kind = kind
+
+    def __len__(self) -> int:
+        return self._nranks
+
+    def __getitem__(self, rank: int) -> Any:
+        try:
+            return self._items[rank]
+        except (KeyError, TypeError):
+            raise NetworkError(
+                f"{self._kind}[{rank!r}] is not in this shard: direct "
+                f"cross-shard object access is not supported under "
+                f"sharded execution (local ranks: "
+                f"{sorted(self._items)[:8]}...)") from None
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items.values())
+
+    def local_ranks(self) -> list[int]:
+        return sorted(self._items)
+
+
+class ShardRouting:
+    """Node-aligned rank→shard partition plus the lookahead window.
+
+    Nodes are split into ``shards`` contiguous blocks (block ``s`` holds
+    nodes ``[s*nnodes//shards, (s+1)*nnodes//shards)``), so intra-node
+    (shared-memory) traffic never crosses a shard boundary and every
+    cross-shard transfer pays at least the minimum uGNI wire latency —
+    which is exactly the conservative synchronization window.
+    """
+
+    def __init__(self, machine: Machine, shards: int):
+        if shards < 1:
+            raise NetworkError(f"need at least one shard, got {shards}")
+        if shards > machine.nnodes:
+            raise NetworkError(
+                f"{shards} shards for {machine.nnodes} nodes: shards are "
+                f"node-aligned, use at most one shard per node")
+        self.machine = machine
+        self.shards = shards
+        nnodes = machine.nnodes
+        #: node -> shard (contiguous blocks, balanced within one node)
+        self._node_shard = [min(n * shards // nnodes, shards - 1)
+                            for n in range(nnodes)]
+
+    def shard_of(self, rank: int) -> int:
+        return self._node_shard[self.machine.node_of(rank)]
+
+    def ranks_of(self, shard: int) -> list[int]:
+        return [r for r in range(self.machine.nranks)
+                if self._node_shard[self.machine.node_of(r)] == shard]
+
+    def lookahead(self, params: TransportParams) -> float:
+        """The conservative window width W (µs).
+
+        Any cross-shard effect is carried by a uGNI transfer whose effect
+        time is at least its issue time plus the engine's wire latency
+        ``L``; since shards only advance ``W = min(L_fma, L_bte)`` past
+        the global minimum next-event time per window, every packet
+        generated inside a window takes effect at or after the boundary
+        where it is delivered (see docs/architecture.md §11).
+        """
+        return min(params.fma.L, params.bte.L)
+
+
+@dataclass(slots=True)
+class ShardPacket:
+    """One cross-shard message (request, response, or control).
+
+    ``ptype`` selects the handler at the receiving shard:
+
+    ======== ============================================================
+    put      RDMA write: reserve the rx link, commit payload, notify, ack
+    get      read request: plan the response at the target NIC engine
+    amo      atomic request: execute at ``t_exec``, return the old value
+    sys      software protocol message (MP eager/rendezvous, PSCW ctrl)
+    ack      completion response: fire the origin's pending events
+    get-resp data response: reserve the origin rx link, deliver, complete
+    amo-resp fetched-value response
+    win-reg  window-registration broadcast (collective win_allocate)
+    ======== ============================================================
+
+    ``sort_time``/``origin``/``op_id`` define the deterministic boundary
+    processing order; ``op_id`` keys the origin fabric's pending-op table
+    for responses.  Only picklable fields, so packets cross process
+    boundaries (numpy payloads are views-free copies).
+    """
+
+    ptype: str
+    origin: int
+    target: int
+    op_id: int
+    sort_time: float
+    #: explicit destination shard (win-reg broadcasts); None = shard of
+    #: ``target``
+    shard: int | None = None
+    nbytes: int = 0
+    #: origin-computed ideal commit time (pre rx-reservation)
+    t_commit: float = 0.0
+    #: response-engine floor (get) or execute time (amo)
+    t_exec: float = 0.0
+    #: per-byte gap and wire latency of the engine that priced the leg
+    G: float = 0.0
+    L: float = 0.0
+    hop: float = 0.0
+    target_addr: int = 0
+    local_addr: int = 0
+    immediate: int | None = None
+    win_id: int | None = None
+    accumulate: str | None = None
+    acc_dtype: str | None = None
+    amo_op: str | None = None
+    sys_ptype: str | None = None
+    operand: int = 0
+    compare: int | None = None
+    value: Any = None
+    scatter: list[tuple[int, int]] | None = None
+    gather: list[tuple[int, int]] | None = None
+    data: np.ndarray | None = None
+    payload: dict = field(default_factory=dict)
+
+    def __reduce__(self):
+        # positional-tuple pickling: boundary batches are the hot pipe
+        # path, and the default dataclass __dict__ form ships every
+        # field name alongside every value
+        return (ShardPacket,
+                tuple(getattr(self, f) for f in _PACKET_FIELDS))
+
+
+_PACKET_FIELDS = tuple(f.name for f in dataclasses.fields(ShardPacket))
+
+
+def partition_summary(routing: ShardRouting) -> str:
+    """Human-readable shard layout (for logs and error messages)."""
+    sizes = [len(routing.ranks_of(s)) for s in range(routing.shards)]
+    return (f"{routing.shards} shards over {routing.machine.nnodes} nodes "
+            f"({routing.machine.nranks} ranks; shard sizes {sizes})")

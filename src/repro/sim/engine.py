@@ -35,7 +35,7 @@ from repro.sim.scheduler import NORMAL, URGENT, make_scheduler
 
 __all__ = [
     "URGENT", "NORMAL", "Event", "Timeout", "Interrupt", "Process",
-    "Engine", "events_scheduled",
+    "Engine", "events_scheduled", "add_external_events",
 ]
 
 #: Events scheduled across all engines in this interpreter (the denominator
@@ -48,6 +48,18 @@ _events_total = 0
 def events_scheduled() -> int:
     """Total events scheduled by all engines so far (monotonic)."""
     return _events_total
+
+
+def add_external_events(n: int) -> None:
+    """Fold events simulated outside this interpreter into the total.
+
+    The sharded core (:mod:`repro.sim.shard`) runs engines in forked
+    worker processes; each worker's schedule count is reported back at
+    shutdown and folded in here so events/sec stays truthful regardless
+    of where the events actually ran.
+    """
+    global _events_total
+    _events_total += n
 
 
 class Event:

@@ -1,0 +1,273 @@
+"""Sharded conservative-parallel core: exactness against the serial run.
+
+The contract of :mod:`repro.sim.shard` is *exactness*, not approximation:
+for any shard count and node layout, a sharded run must reproduce the
+serial run's per-rank results — including the arrival order recorded by
+wildcard notification consumers, virtual completion times, and the
+aggregate fabric statistics.  These tests pin that contract on the two
+motifs the weak-scaling sweep uses (stencil, DHT), a mixed-op program
+exercising every fabric verb, and (property test) randomly generated
+producer-consumer programs.
+
+One documented caveat (see the :mod:`repro.sim.shard` docstring): two
+inter-node ops aimed at the same node and issued at the *bit-identical*
+virtual time tie-break differently (serial: global event counter;
+sharded: origin rank).  The property test therefore staggers producers
+by a per-rank compute skew, the way any real workload decorrelates them
+— the random plans still cover heavy same-target incast, wildcards, and
+arbitrary shard/node layouts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.dht import round_shift, run_dht
+from repro.apps.stencil import run_stencil
+from repro.cluster import ClusterConfig, effective_shards, run_ranks
+from repro.errors import NetworkError, SimulationError
+from repro.faults import FaultPlan
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.network.loggp import TransportParams
+from repro.network.shardlink import RankTable, ShardRouting
+from repro.network.topology import Machine
+from repro.sim.shard import ShardedRun, critical_path_seconds
+
+
+# ---------------------------------------------------------------------------
+# Routing / partition unit tests
+# ---------------------------------------------------------------------------
+def test_routing_partitions_every_rank_once():
+    routing = ShardRouting(Machine(23, ranks_per_node=4), shards=3)
+    seen = []
+    for s in range(routing.shards):
+        block = routing.ranks_of(s)
+        assert block == sorted(block)
+        for r in block:
+            assert routing.shard_of(r) == s
+        seen += block
+    assert sorted(seen) == list(range(23))
+
+
+def test_routing_is_node_aligned():
+    routing = ShardRouting(Machine(24, ranks_per_node=4), shards=3)
+    for node in range(6):
+        ranks = range(node * 4, node * 4 + 4)
+        shards = {routing.shard_of(r) for r in ranks}
+        assert len(shards) == 1, f"node {node} split across {shards}"
+
+
+def test_routing_lookahead_is_min_transport_latency():
+    p = TransportParams()
+    routing = ShardRouting(Machine(8, ranks_per_node=2), shards=2)
+    assert routing.lookahead(p) == min(p.fma.L, p.bte.L)
+    assert routing.lookahead(p) > 0.0
+
+
+def test_rank_table_rejects_cross_shard_access():
+    routing = ShardRouting(Machine(8, ranks_per_node=2), shards=2)
+    local = routing.ranks_of(0)
+    table = RankTable({r: f"v{r}" for r in local}, 8, "probe")
+    assert table[local[0]] == f"v{local[0]}"
+    remote = routing.ranks_of(1)[0]
+    with pytest.raises(NetworkError):
+        table[remote]
+
+
+# ---------------------------------------------------------------------------
+# Gating (effective_shards)
+# ---------------------------------------------------------------------------
+def test_effective_shards_env_and_explicit(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    assert effective_shards(ClusterConfig(nranks=8, ranks_per_node=2)) == 1
+    assert effective_shards(
+        ClusterConfig(nranks=8, ranks_per_node=2, shards=2)) == 2
+    monkeypatch.setenv("REPRO_SHARDS", "4")
+    assert effective_shards(ClusterConfig(nranks=8, ranks_per_node=2)) == 4
+    # clamped to the node count (shards are node-aligned)
+    assert effective_shards(ClusterConfig(nranks=8, ranks_per_node=4)) == 2
+    # config wins over the environment
+    assert effective_shards(
+        ClusterConfig(nranks=8, ranks_per_node=2, shards=2)) == 2
+
+
+def test_effective_shards_incompatible_features(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    faulty = ClusterConfig(nranks=4, shards=2,
+                           faults=FaultPlan(drop_prob=0.1))
+    with pytest.raises(SimulationError):
+        effective_shards(faulty)
+    # from the environment the same config quietly runs serial
+    monkeypatch.setenv("REPRO_SHARDS", "2")
+    env_faulty = ClusterConfig(nranks=4, faults=FaultPlan(drop_prob=0.1))
+    assert effective_shards(env_faulty) == 1
+
+
+# ---------------------------------------------------------------------------
+# Motif equivalence matrix
+# ---------------------------------------------------------------------------
+def _dht_config(shards):
+    return ClusterConfig(nranks=12, ranks_per_node=2, shards=shards)
+
+
+@pytest.mark.parametrize("shards", [2, 3, 6])
+def test_dht_matches_serial(shards):
+    serial = run_dht(12, rounds=10, verify=True, config=_dht_config(1))
+    sharded = run_dht(12, rounds=10, verify=True,
+                      config=_dht_config(shards))
+    assert sharded == serial
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_stencil_matches_serial(shards):
+    def go(n):
+        return run_stencil(
+            "na", 8, rows=12, cols=32, iters=2, verify=True,
+            config=ClusterConfig(nranks=8, ranks_per_node=2, shards=n))
+    assert go(shards) == go(1)
+
+
+def test_sharded_run_surface_and_stats():
+    serial_res, serial_cluster = run_ranks(
+        8, _mixed_program, config=ClusterConfig(
+            nranks=8, ranks_per_node=2, shards=1))
+    sharded_res, run = run_ranks(
+        8, _mixed_program, config=ClusterConfig(
+            nranks=8, ranks_per_node=2, shards=4))
+    assert isinstance(run, ShardedRun)
+    assert sharded_res == serial_res
+    assert run.time == serial_cluster.time
+    s_stats, p_stats = serial_cluster.stats(), run.stats()
+    assert p_stats.pop("shards") == 4
+    assert p_stats.pop("shard_windows") > 0
+    assert p_stats.pop("shard_exchanges") > 0
+    cpu_s = p_stats.pop("shard_cpu_s")
+    assert len(cpu_s) == 4 and all(c >= 0.0 for c in cpu_s)
+    assert p_stats.pop("shard_critical_path_s") >= max(cpu_s)
+    assert run.critical_path_s > 0.0
+    assert critical_path_seconds() > 0.0
+    assert p_stats == s_stats
+
+
+def _mixed_program(ctx):
+    """Every fabric verb: put_notify, get, amo, MP sendrecv, collectives."""
+    win = yield from ctx.win_allocate(512, disp_unit=8)
+    me, n = ctx.rank, ctx.size
+    right, left = (me + 1) % n, (me - 1) % n
+    yield from win.lock_all()
+    req = yield from ctx.na.notify_init(win, source=left, tag=3)
+    yield from ctx.na.start(req)
+    yield from ctx.na.put_notify(win, np.array([me * 1.5]), right, 0, tag=3)
+    yield from ctx.na.wait(req)
+    buf = ctx.alloc(8)
+    yield from win.get(buf, left, 0, nbytes=8)
+    yield from win.flush(left)
+    got = buf.ndarray(np.float64)[0].item()
+    old = yield from win.fetch_and_op(me + 1, right, 1, op="sum")
+    yield from win.flush(right)
+    out = np.full(4096, float(me))
+    inc = np.empty(4096)
+    yield from ctx.comm.sendrecv(out, right, 7, inc, left, 7)
+    yield from win.unlock_all()
+    yield from ctx.barrier()
+    return (got, old, float(inc[0]), round(ctx.now, 9))
+
+
+# ---------------------------------------------------------------------------
+# Property: random producer-consumer programs
+# ---------------------------------------------------------------------------
+def _pc_program(ctx, sends, jitters):
+    """Producers put_notify per plan; consumers drain a wildcard request.
+
+    ``sends`` is the global plan [(src, dst, tag, words), ...]; every
+    rank walks it, producing its own sends in plan order and counting
+    how many it should receive.  A per-rank compute skew (drawn jitter
+    plus a rank-dependent stagger) decorrelates producers so no two
+    inter-node ops issue at the bit-identical time — the documented
+    boundary of the sharded core's exactness contract.  Returns the
+    wildcard arrival order, window contents, and finish time — the full
+    observable behaviour.
+    """
+    me = ctx.rank
+    mine = [(i, s) for i, s in enumerate(sends) if s[0] == me]
+    expect = sum(1 for s in sends if s[1] == me)
+    slots = max(1, sum(1 for s in sends if s[1] == me))
+    win = yield from ctx.win_allocate(slots * 64 * 8)
+    req = yield from ctx.na.notify_init(win, source=ANY_SOURCE, tag=ANY_TAG)
+    yield from ctx.barrier()
+
+    slot_of = {}
+    for i, (_, dst, _, _) in enumerate(sends):
+        slot_of[i] = sum(1 for s in sends[:i] if s[1] == dst)
+    for i, (_, dst, tag, words) in mine:
+        skew = jitters[i % len(jitters)] + 0.0137 * (i + 1) \
+            + 0.0061 * (me + 1)
+        yield from ctx.compute(skew)
+        payload = np.full(words, float(me * 1000 + i))
+        yield from ctx.na.put_notify(win, payload, dst,
+                                     slot_of[i] * 64 * 8, tag=tag)
+        yield from win.flush_local(dst)
+
+    seen = []
+    for _ in range(expect):
+        yield from ctx.na.start(req)
+        st_ = yield from ctx.na.wait(req)
+        seen.append((st_.source, st_.tag))
+    table = win.local(np.float64, count=slots * 64, mode="r").copy()
+    yield from ctx.barrier()
+    return (seen, table.tolist(), round(ctx.now, 9))
+
+
+@st.composite
+def _pc_plans(draw):
+    nranks = draw(st.integers(4, 8))
+    ranks_per_node = draw(st.sampled_from([1, 2, 3]))
+    shards = draw(st.integers(2, 4))
+    nsends = draw(st.integers(1, 14))
+    sends = []
+    for _ in range(nsends):
+        src = draw(st.integers(0, nranks - 1))
+        dst = draw(st.integers(0, nranks - 2))
+        if dst >= src:
+            dst += 1
+        tag = draw(st.integers(0, 3))
+        words = draw(st.sampled_from([1, 8, 64]))
+        sends.append((src, dst, tag, words))
+    jitters = draw(st.lists(
+        st.sampled_from([0.0, 0.1, 0.35, 0.8]), min_size=1, max_size=4))
+    return nranks, ranks_per_node, shards, sends, jitters
+
+
+@given(_pc_plans())
+@settings(max_examples=12, deadline=None)
+def test_random_producer_consumer_matches_serial(plan):
+    nranks, ranks_per_node, shards, sends, jitters = plan
+    def go(n):
+        results, _ = run_ranks(
+            nranks, _pc_program, args=(sends, jitters),
+            config=ClusterConfig(nranks=nranks,
+                                 ranks_per_node=ranks_per_node, shards=n))
+        return results
+    assert go(shards) == go(1)
+
+
+# ---------------------------------------------------------------------------
+# DHT motif sanity
+# ---------------------------------------------------------------------------
+def test_round_shift_is_bijective_and_never_self():
+    for size in (2, 3, 8, 13):
+        for r in range(20):
+            s = round_shift(r, size)
+            assert 1 <= s < size
+            targets = {(rank + s) % size for rank in range(size)}
+            assert len(targets) == size
+
+
+def test_dht_verifies_serial():
+    out = run_dht(6, rounds=7, verify=True)
+    assert out["verified"]
+    assert out["inserts"] == 42
+    assert out["time_us"] > 0
