@@ -41,6 +41,7 @@ import json
 import os
 import sys
 
+from repro.bench.figures import ALL_EXPERIMENTS
 from repro.bench.history import append_entry, trend_check
 from repro.bench.runner import (
     SMOKE_CONFIGS,
@@ -55,7 +56,70 @@ TOLERANCE = 3.0
 #: experiments exercised by the ``--shards`` equivalence matrix — small
 #: cluster-driven sweeps whose tables carry no shard-count column, so
 #: byte-equality across shard counts is the exactness contract verbatim
-SHARD_SMOKE = ("fig1", "fig4c")
+SHARD_SMOKE = ("fig1", "fig4c", "svc_kv", "svc_pubsub")
+
+
+def coverage_failures(registry=None, configs=None) -> list[str]:
+    """Registry/SMOKE_CONFIGS drift, as loud failure messages.
+
+    Registering an experiment without a smoke config would silently
+    exempt it from the baseline and trend gates — this turns the gap
+    (in either direction) into a failed check instead.
+    """
+    registry = ALL_EXPERIMENTS if registry is None else registry
+    configs = SMOKE_CONFIGS if configs is None else configs
+    failures = []
+    for eid in sorted(set(registry) - set(configs)):
+        failures.append(
+            f"{eid}: registered in ALL_EXPERIMENTS but has no "
+            f"SMOKE_CONFIGS entry — add one so CI gives it a committed "
+            f"baseline and a trend-ledger series")
+    for eid in sorted(set(configs) - set(registry)):
+        failures.append(
+            f"{eid}: SMOKE_CONFIGS entry for an experiment that is not "
+            f"in ALL_EXPERIMENTS — remove it or register the experiment")
+    return failures
+
+
+def baseline_failures(eid: str, base_path: str,
+                      now: dict) -> list[str]:
+    """Compare one run's payload against a committed baseline file.
+
+    Every malformed-input path (missing file, unparsable JSON, absent
+    keys) returns a named failure instead of raising — a new experiment
+    whose baseline was never committed must fail the gate with a message
+    saying exactly that, not crash it with a KeyError.
+    """
+    try:
+        with open(base_path) as fh:
+            base = json.load(fh)
+    except OSError as exc:
+        return [f"{eid}: missing baseline {base_path} ({exc}); commit "
+                f"the BENCH_{eid}.json written by the smoke --json "
+                f"output"]
+    except ValueError as exc:
+        return [f"{eid}: baseline {base_path} is not valid JSON: {exc}"]
+    missing = [k for k in ("rows", "events", "events_per_s")
+               if k not in base]
+    if missing:
+        return [f"{eid}: baseline {base_path} lacks required keys "
+                f"{missing}; regenerate it"]
+    failures = []
+    if now["rows"] != base["rows"]:
+        failures.append(f"{eid}: table rows differ from baseline "
+                        f"{base_path} (determinism regression)")
+    if now["events"] != base["events"]:
+        failures.append(
+            f"{eid}: simulated event count changed "
+            f"({base['events']} -> {now['events']}); update the "
+            f"baseline if the schedule change is intentional")
+    floor = base["events_per_s"] / TOLERANCE
+    if now["events_per_s"] < floor:
+        failures.append(
+            f"{eid}: events/sec regressed: {now['events_per_s']:,.0f}"
+            f" < {floor:,.0f} (baseline "
+            f"{base['events_per_s']:,.0f} / {TOLERANCE}x tolerance)")
+    return failures
 
 
 def _run_with_scheduler(name: str, eid: str, jobs: int, kwargs: dict):
@@ -100,9 +164,11 @@ def main(argv: list[str] | None = None) -> int:
     shard_counts = ([int(s) for s in args.shards.split(",") if s]
                     if args.shards else [])
 
-    failures: list[str] = []
+    failures: list[str] = coverage_failures()
     total_wall = 0.0
     for eid, kwargs in SMOKE_CONFIGS.items():
+        if eid not in ALL_EXPERIMENTS:
+            continue  # already reported by coverage_failures
         # 1. scheduler equivalence matrix (serial legs)
         serial_table = serial_meta = None
         for sched in schedulers:
@@ -157,34 +223,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  wrote {path}")
 
         if args.baselines is not None:
-            base_path = f"{args.baselines}/BENCH_{eid}.json"
-            try:
-                with open(base_path) as fh:
-                    base = json.load(fh)
-            except OSError as exc:
-                failures.append(f"{eid}: missing baseline {base_path}: {exc}")
-                continue
-            now = bench_payload(par_table, par_meta)
-            if now["rows"] != base["rows"]:
-                failures.append(f"{eid}: table rows differ from baseline "
-                                f"{base_path} (determinism regression)")
-            if now["events"] != base["events"]:
-                failures.append(
-                    f"{eid}: simulated event count changed "
-                    f"({base['events']} -> {now['events']}); update the "
-                    f"baseline if the schedule change is intentional")
-            floor = base["events_per_s"] / TOLERANCE
-            if now["events_per_s"] < floor:
-                failures.append(
-                    f"{eid}: events/sec regressed: {now['events_per_s']:,.0f}"
-                    f" < {floor:,.0f} (baseline "
-                    f"{base['events_per_s']:,.0f} / {TOLERANCE}x tolerance)")
+            failures.extend(baseline_failures(
+                eid, f"{args.baselines}/BENCH_{eid}.json",
+                bench_payload(par_table, par_meta)))
 
         if args.history is not None:
             # check before appending, so today's slow run can't raise
-            # tomorrow's floor; only same-configuration entries count
+            # tomorrow's floor; only same-configuration entries count.
+            # require_history: a registered experiment must arrive with
+            # a seeded ledger series, not silently skip the trend gate.
             msg = trend_check(args.history, eid, par_meta["events_per_s"],
-                              kwargs=par_meta["kwargs"])
+                              kwargs=par_meta["kwargs"],
+                              require_history=True)
             if msg is not None:
                 failures.append(msg)
             entry = append_entry(args.history, par_meta)

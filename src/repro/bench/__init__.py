@@ -24,7 +24,9 @@ from repro.bench.figures import (
     sec5_cache_misses,
     table1_loggp,
 )
+from repro.bench.load import LatencyDigest, ZipfKeys, arrival_times
 from repro.bench.report import Table, format_table
+from repro.bench.services import svc_kv, svc_pubsub
 from repro.bench.runner import (
     SMOKE_CONFIGS,
     SWEEP_PARAMS,
@@ -50,5 +52,10 @@ __all__ = [
     "table1_loggp",
     "sec5_cache_misses",
     "fig2_transactions",
+    "svc_kv",
+    "svc_pubsub",
+    "arrival_times",
+    "ZipfKeys",
+    "LatencyDigest",
     "ALL_EXPERIMENTS",
 ]

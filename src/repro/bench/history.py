@@ -118,20 +118,30 @@ def load_history(dir_path: str, eid: str) -> list[dict[str, Any]]:
 def trend_check(dir_path: str, eid: str, events_per_s: float,
                 tolerance: float = TREND_TOLERANCE,
                 window: int = TREND_WINDOW,
-                kwargs: dict[str, Any] | None = None) -> str | None:
+                kwargs: dict[str, Any] | None = None,
+                require_history: bool = False) -> str | None:
     """Compare a fresh measurement against the recent ledger.
 
-    Returns None when the measurement is acceptable (or there is no
-    history to compare against), else a human-readable failure message.
-    The floor is ``best(last window entries) / tolerance``.  With
-    ``kwargs`` given, only ledger entries recording the same experiment
-    configuration count (entries predating config recording match any).
+    Returns None when the measurement is acceptable, else a
+    human-readable failure message.  The floor is ``best(last window
+    entries) / tolerance``.  With ``kwargs`` given, only ledger entries
+    recording the same experiment configuration count (entries
+    predating config recording match any).  An empty ledger passes by
+    default (a fresh checkout has no history); with ``require_history``
+    it fails loudly instead — the CI gate sets it so a newly registered
+    experiment must arrive with a seeded ledger series rather than
+    silently skipping the trend check on every run.
     """
     entries = load_history(dir_path, eid)
     if kwargs is not None:
         entries = [e for e in entries
                    if "kwargs" not in e or e["kwargs"] == kwargs]
     if not entries:
+        if require_history:
+            return (f"{eid}: no ledger entries for this configuration "
+                    f"under {dir_path} — seed the trend ledger "
+                    f"(run benchmarks/smoke.py with --history and "
+                    f"commit the appended {eid}.jsonl)")
         return None
     recent = entries[-window:]
     best = max(e["events_per_s"] for e in recent)

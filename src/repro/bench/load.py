@@ -1,0 +1,208 @@
+"""Open-loop load generation and latency-distribution measurement.
+
+The paper's benchmarks are closed-loop (ping-pong: the next request is
+only issued once the previous one completed), which measures *latency
+under zero queueing* — useless for a serving story, where the question
+is what the latency distribution looks like at a given *offered load*.
+This module provides the three reusable pieces the service workloads
+(:mod:`repro.apps.services`) need:
+
+* :func:`arrival_times` — deterministic, seeded open-loop arrival
+  schedules (Poisson or uniform-jitter processes).  Schedules are pure
+  functions of ``(seed, label)``: the same seed yields a byte-identical
+  schedule no matter the host, the ``--jobs`` pool layout, or the shard
+  count, so the bench byte-equality contracts extend to the service
+  tables.
+* :class:`ZipfKeys` — key-popularity skew (Zipf over a fixed key space),
+  the access pattern that concentrates load on a few hot shards.
+* :class:`LatencyDigest` — a fixed-bucket log-histogram of per-request
+  latencies supporting exact-rank p50/p99/p999 extraction with a
+  one-bucket-width accuracy bound, and O(buckets) merge across ranks.
+
+Digest design
+-------------
+Buckets are geometric: bucket ``i`` spans ``[lo * r^i, lo * r^(i+1))``
+with ``r = 10^(1/buckets_per_decade)``, so relative resolution is
+constant across the whole range (~7.5% per bucket at the default 32
+buckets/decade).  Recording is a counter increment; merging is a vector
+add.  ``percentile(p)`` selects the bucket containing the exact
+``ceil(n*p/100)``-th order statistic (counts are exact, so the bucket is
+exact) and returns the bucket's geometric midpoint — hence the returned
+value is always within one bucket width of the true order statistic
+(numpy's ``percentile(..., method="inverted_cdf")``), the bound the
+property tests pin.  Samples outside ``[lo_us, hi_us)`` clamp into the
+first/last bucket; pick bounds generously (the defaults span 10 ns to
+10 s of virtual time).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.rng import RngStream
+
+#: processes supported by :func:`arrival_times`
+ARRIVAL_PROCESSES = ("poisson", "uniform")
+
+#: floor on inter-arrival gaps (µs): keeps schedules strictly increasing
+#: even when the RNG draws an exact 0.0
+_MIN_GAP_US = 1e-9
+
+
+def arrival_times(seed: int, label: object, n: int, rate_rps: float,
+                  process: str = "poisson") -> np.ndarray:
+    """``n`` arrival offsets (µs, strictly increasing) at ``rate_rps``.
+
+    ``process`` selects the inter-arrival law (mean ``1e6/rate_rps`` µs
+    either way):
+
+    * ``"poisson"`` — exponential gaps, the memoryless open-loop arrival
+      process of classic service benchmarks;
+    * ``"uniform"`` — gaps uniform over ``[0.5, 1.5] / rate``, a
+      low-variance pacing useful to separate queueing effects from
+      arrival burstiness.
+
+    The schedule derives from ``RngStream(seed, "load", process, label)``
+    only — deterministic replay is part of the contract (property-tested),
+    because the service tables must stay byte-identical across ``--jobs``
+    and ``--shards`` configurations.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one arrival, got n={n}")
+    if rate_rps <= 0.0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+    if process not in ARRIVAL_PROCESSES:
+        raise ValueError(f"unknown arrival process {process!r}; "
+                         f"choose from {ARRIVAL_PROCESSES}")
+    stream = RngStream(seed, "load", process, label)
+    mean_us = 1e6 / rate_rps
+    u = stream.array(n)                      # [0, 1) draws, float64
+    if process == "poisson":
+        gaps = -mean_us * np.log1p(-u)       # inverse-CDF exponential
+    else:
+        gaps = mean_us * (0.5 + u)
+    np.maximum(gaps, _MIN_GAP_US, out=gaps)
+    return np.cumsum(gaps)
+
+
+class ZipfKeys:
+    """Zipf(``skew``) popularity over ``nkeys`` keys (0-based ids).
+
+    ``skew = 0`` degenerates to the uniform distribution; larger values
+    concentrate traffic on low-numbered keys (rank-1 hottest).  Sampling
+    is inverse-CDF over the precomputed mass function, so it is exactly
+    reproducible from the :class:`~repro.sim.rng.RngStream` passed in.
+    """
+
+    def __init__(self, nkeys: int, skew: float = 0.99):
+        if nkeys < 1:
+            raise ValueError(f"nkeys must be >= 1, got {nkeys}")
+        if skew < 0.0:
+            raise ValueError(f"skew must be >= 0, got {skew}")
+        self.nkeys = nkeys
+        self.skew = skew
+        weights = np.arange(1, nkeys + 1, dtype=np.float64) ** -skew
+        self._cdf = np.cumsum(weights / weights.sum())
+        self._cdf[-1] = 1.0                  # guard FP undershoot
+
+    def sample(self, stream: RngStream, n: int) -> np.ndarray:
+        """``n`` key ids drawn from the popularity distribution."""
+        u = stream.array(n)
+        return np.searchsorted(self._cdf, u, side="right").astype(np.int64)
+
+
+class LatencyDigest:
+    """Fixed-bucket log-histogram with exact-rank percentile extraction."""
+
+    __slots__ = ("lo_us", "hi_us", "buckets_per_decade", "nbuckets",
+                 "counts", "_log_lo", "_scale")
+
+    def __init__(self, lo_us: float = 1e-2, hi_us: float = 1e7,
+                 buckets_per_decade: int = 32):
+        if not (0.0 < lo_us < hi_us):
+            raise ValueError(f"need 0 < lo_us < hi_us, got "
+                             f"({lo_us}, {hi_us})")
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        self.lo_us = float(lo_us)
+        self.hi_us = float(hi_us)
+        self.buckets_per_decade = int(buckets_per_decade)
+        decades = math.log10(hi_us / lo_us)
+        self.nbuckets = max(1, math.ceil(decades * buckets_per_decade))
+        self.counts = np.zeros(self.nbuckets, dtype=np.int64)
+        self._log_lo = math.log10(self.lo_us)
+        self._scale = float(buckets_per_decade)
+
+    # -- recording ------------------------------------------------------
+    def _index(self, value_us: float) -> int:
+        if value_us <= self.lo_us:
+            return 0
+        i = int(math.floor(
+            (math.log10(value_us) - self._log_lo) * self._scale))
+        return min(max(i, 0), self.nbuckets - 1)
+
+    def record(self, value_us: float) -> None:
+        """Record one latency sample (µs)."""
+        self.counts[self._index(value_us)] += 1
+
+    def record_many(self, values_us: Iterable[float] | np.ndarray) -> None:
+        """Record a batch of latency samples (µs)."""
+        v = np.asarray(list(values_us) if not isinstance(values_us,
+                                                         np.ndarray)
+                       else values_us, dtype=np.float64)
+        if v.size == 0:
+            return
+        clipped = np.clip(v, self.lo_us, None)
+        idx = np.floor(
+            (np.log10(clipped) - self._log_lo) * self._scale).astype(np.int64)
+        np.clip(idx, 0, self.nbuckets - 1, out=idx)
+        np.add.at(self.counts, idx, 1)
+
+    def merge(self, other: LatencyDigest) -> None:
+        """Fold another digest (identical bucketing) into this one."""
+        if (other.lo_us, other.hi_us, other.buckets_per_decade) != \
+                (self.lo_us, self.hi_us, self.buckets_per_decade):
+            raise ValueError("cannot merge digests with different bucketing")
+        self.counts += other.counts
+
+    # -- extraction -----------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total samples recorded."""
+        return int(self.counts.sum())
+
+    def bucket_bounds(self, i: int) -> tuple[float, float]:
+        """``[lo, hi)`` edges of bucket ``i`` (µs)."""
+        lo = self.lo_us * 10.0 ** (i / self._scale)
+        hi = self.lo_us * 10.0 ** ((i + 1) / self._scale)
+        return lo, hi
+
+    def percentile(self, p: float) -> float:
+        """Latency (µs) at percentile ``p`` (0 < p <= 100).
+
+        Selects the bucket holding the exact ``ceil(n * p / 100)``-th
+        order statistic and returns its geometric midpoint — within one
+        bucket width of ``numpy.percentile(samples, p,
+        method="inverted_cdf")`` for in-range samples.
+        """
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        n = self.count
+        if n == 0:
+            raise ValueError("percentile of an empty digest")
+        k = max(1, math.ceil(n * p / 100.0 - 1e-9))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += int(c)
+            if seen >= k:
+                lo, hi = self.bucket_bounds(i)
+                return math.sqrt(lo * hi)
+        raise AssertionError("unreachable: cumulative count underflow")
+
+    def percentiles(self, ps: Sequence[float] = (50.0, 99.0, 99.9)
+                    ) -> list[float]:
+        """Batch :meth:`percentile` — default p50/p99/p999."""
+        return [self.percentile(p) for p in ps]

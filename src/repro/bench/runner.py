@@ -47,6 +47,8 @@ SWEEP_PARAMS: dict[str, str] = {
     "fig4c": "nranks_list",
     "fig5": "nranks_list",
     "shard_weak": "nranks_list",
+    "svc_kv": "rates",
+    "svc_pubsub": "rates",
 }
 
 #: scaled-down configurations used by the CI bench-smoke job and the
@@ -67,6 +69,12 @@ SMOKE_CONFIGS: dict[str, dict[str, Any]] = {
     "sec5": {},
     "shard_weak": {"nranks_list": (32, 64), "shards": 2, "rounds": 4,
                    "rows": 8, "cols_per_rank": 8, "ranks_per_node": 4},
+    "svc_kv": {"rates": (200_000.0, 1_600_000.0, 6_400_000.0),
+               "nservers": 2, "nclients": 4, "reqs_per_client": 16,
+               "nkeys": 32},
+    "svc_pubsub": {"rates": (100_000.0, 1_000_000.0, 4_000_000.0),
+                   "nbrokers": 2, "npubs": 2, "nsubs": 4, "fanout": 2,
+                   "msgs_per_pub": 16},
 }
 
 

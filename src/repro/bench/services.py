@@ -1,0 +1,104 @@
+"""Saturation-sweep drivers for the service workloads (svc_kv, svc_pubsub).
+
+Each driver sweeps the aggregate offered load over ``rates`` (the
+saturation sweep: latency percentiles stay flat at low load and blow up
+past the knee) and reports, per point, the measured-request count, the
+p50/p99/p999 of the end-to-end latency distribution (via
+:class:`~repro.bench.load.LatencyDigest` — exact-rank, one-bucket-width
+accuracy), and the achieved throughput over the measurement window.
+
+Every column is a deterministic virtual-time quantity, so the tables are
+byte-identical across ``--jobs``, ``--shards``, and schedulers — the
+same contract the paper-figure drivers honor.  The ``rates`` tuple is
+the sweep parameter (:data:`repro.bench.runner.SWEEP_PARAMS`), so points
+fan out across a ``--jobs`` pool.
+"""
+
+from __future__ import annotations
+
+from repro.bench.load import LatencyDigest
+from repro.bench.report import Table
+from repro.cluster import ClusterConfig
+
+#: default aggregate offered loads (requests/s) for the saturation sweeps;
+#: chosen to span flat -> knee -> saturated on the default topologies
+KV_RATES = (100_000.0, 1_000_000.0, 4_000_000.0, 16_000_000.0)
+PUBSUB_RATES = (50_000.0, 500_000.0, 2_000_000.0, 8_000_000.0)
+
+
+def _digest_row(latencies, t_end_us: float, warmup_us: float
+                ) -> tuple[int, float, float, float, float]:
+    """(measured, p50, p99, p999, throughput_rps) for one sweep point."""
+    digest = LatencyDigest()
+    digest.record_many(latencies)
+    p50, p99, p999 = digest.percentiles()
+    window_us = float(t_end_us) - float(warmup_us)
+    tput = digest.count / window_us * 1e6 if window_us > 0 else 0.0
+    return digest.count, p50, p99, p999, float(tput)
+
+
+def svc_kv(rates=KV_RATES, nservers: int = 4, nclients: int = 8,
+           replication: int = 2, reqs_per_client: int = 64,
+           get_frac: float = 0.5, nkeys: int = 64, zipf_skew: float = 0.9,
+           ranks_per_node: int = 2, seed: int = 42) -> Table:
+    """Sharded KV store: offered-load sweep with latency percentiles."""
+    # deferred: repro.apps.services itself imports repro.bench.load
+    from repro.apps.services import run_kv
+    t = Table(
+        f"svc_kv: sharded KV saturation sweep ({nservers} servers, "
+        f"{nclients} clients, replication={replication}, "
+        f"Zipf {zipf_skew})",
+        ["rate_rps", "reqs", "measured", "p50_us", "p99_us", "p999_us",
+         "tput_rps"])
+    for rate in rates:
+        r = run_kv(nservers=nservers, nclients=nclients,
+                   replication=replication,
+                   reqs_per_client=reqs_per_client, rate_rps=rate,
+                   get_frac=get_frac, nkeys=nkeys, zipf_skew=zipf_skew,
+                   verify=True, seed=seed,
+                   config=ClusterConfig(nranks=nservers + nclients,
+                                        ranks_per_node=ranks_per_node))
+        measured, p50, p99, p999, tput = _digest_row(
+            r["lat_put_us"] + r["lat_get_us"], r["t_end_us"],
+            r["warmup_us"])
+        t.add(rate, r["requests"], measured, round(p50, 3), round(p99, 3),
+              round(p999, 3), round(tput, 3))
+    t.notes = ("Open-loop offered-load sweep: per-request latency "
+               "(put: counting replication acks; get: notified-put RPC "
+               "to the primary) vs aggregate request rate.  Percentiles "
+               "from the log-histogram digest (exact rank, one bucket "
+               "width accuracy).")
+    return t
+
+
+def svc_pubsub(rates=PUBSUB_RATES, nbrokers: int = 2, npubs: int = 4,
+               nsubs: int = 6, ntopics: int = 8, fanout: int = 3,
+               msgs_per_pub: int = 64, batch: int = 4,
+               zipf_skew: float = 0.9, ranks_per_node: int = 2,
+               seed: int = 42) -> Table:
+    """Pub/sub broker: publish-rate sweep with delivery percentiles."""
+    # deferred: repro.apps.services itself imports repro.bench.load
+    from repro.apps.services import run_pubsub
+    t = Table(
+        f"svc_pubsub: broker saturation sweep ({nbrokers} brokers, "
+        f"{npubs} pubs, {nsubs} subs, fanout={fanout}, batch={batch})",
+        ["rate_rps", "published", "delivered", "measured", "p50_us",
+         "p99_us", "p999_us", "tput_rps"])
+    for rate in rates:
+        r = run_pubsub(nbrokers=nbrokers, npubs=npubs, nsubs=nsubs,
+                       ntopics=ntopics, fanout=fanout,
+                       msgs_per_pub=msgs_per_pub, rate_rps=rate,
+                       batch=batch, zipf_skew=zipf_skew, seed=seed,
+                       config=ClusterConfig(
+                           nranks=nbrokers + npubs + nsubs,
+                           ranks_per_node=ranks_per_node))
+        measured, p50, p99, p999, tput = _digest_row(
+            r["lat_us"], r["t_end_us"], r["warmup_us"])
+        t.add(rate, r["published"], r["delivered"], measured,
+              round(p50, 3), round(p99, 3), round(p999, 3),
+              round(tput, 3))
+    t.notes = ("Publish -> subscriber-batch-wakeup latency vs aggregate "
+               "publish rate.  Larger batch amortizes wakeups but "
+               "stretches the tail — the counting-notification "
+               "trade-off, visible in p999.")
+    return t

@@ -146,6 +146,7 @@ class NotifyEngine:
             raise MatchingError("MPI_Start on an active, incomplete request")
         req.matched = 0
         req.last_status = None
+        req.match_log.clear()
         req.active = True
         req.starts += 1
         # Resetting the matched counter touches the request structure.
@@ -189,6 +190,7 @@ class NotifyEngine:
             req.matched += 1
             req.last_status = Status(source=entry.source, tag=entry.tag,
                                      count=entry.nbytes)
+            req.match_log.append((entry.source, entry.tag, entry.time))
             if self._san is not None:
                 # Matching a notification is the acquire side of the
                 # notified access: the consumer is now ordered after it.
@@ -208,6 +210,7 @@ class NotifyEngine:
                 req.matched += 1
                 req.last_status = Status(source=source, tag=tag,
                                          count=cqe.nbytes)
+                req.match_log.append((source, tag, cqe.time))
                 if self._san is not None:
                     self._san.acquire_op(self.rank, cqe.san)
                 cost += T_MATCH * self._scale

@@ -20,7 +20,7 @@ class NotifyRequest:
 
     __slots__ = ("win", "source", "tag", "expected", "matched", "active",
                  "region", "addr", "last_status", "freed", "starts",
-                 "completions")
+                 "completions", "match_log")
 
     def __init__(self, win, source: int, tag: int, expected: int,
                  region: Region):
@@ -44,6 +44,13 @@ class NotifyRequest:
         self.freed = False
         self.starts = 0
         self.completions = 0
+        #: (source, tag, arrival_time) per matched notification of the
+        #: current start epoch.  The times are NIC *arrival* clocks, not
+        #: observation times: a consumer that tests lazily still reads
+        #: the true completion instant — what latency accounting must
+        #: use to stay invariant to same-timestamp scheduling order
+        #: (the sharded core's tie-break freedom).
+        self.match_log: list[tuple[int, int, float]] = []
 
     @property
     def completed(self) -> bool:

@@ -41,7 +41,16 @@ order by ``(origin rank, op id)`` here, while serial orders them by its
 global event counter (e.g. whichever producer a barrier happened to
 wake first) — both deterministic, possibly different.  Ties require
 producers with literally identical timing; any compute skew (the DHT
-motif's jitter, real per-rank work) keeps runs exact.  Unsupported
+motif's jitter, real per-rank work) keeps runs exact.  The second
+caveat is *gets under contention*: serial ``Fabric.get`` plans ahead,
+reserving the target's tx engine and the origin's rx link at issue
+time, while here the get only reaches the target at a boundary — so a
+cross-shard get whose response leg contends with the target's own
+traffic may commit at a different virtual time than serial.  Gets are
+exact in uncontended windows (every golden-trace test that issues
+them); latency-measuring workloads that need byte-identical sharded
+runs should serve reads as notified-put RPC instead (see
+``repro.apps.services.kv`` and docs/architecture.md §12).  Unsupported
 under sharding: fault injection,
 lossy fabrics, ``reliable=False`` (rejected by
 :func:`repro.cluster.effective_shards`), direct cross-shard object access
@@ -295,16 +304,20 @@ class ShardFabric(Fabric):
         local_done = Event(self.engine, "get.local")
         remote_done = Event(self.engine, "get.remote")
         op_id = next(self._op_ids)
+        # commit_at must end up as the origin-side data-landed time to
+        # match the serial fabric; that time is only known once the
+        # response leg is planned, so _recv_get_resp patches the handle.
+        handle = OpHandle("get", req.cpu_busy, local_done, remote_done,
+                          nbytes=nbytes, target=target,
+                          commit_at=req.commit_at)
         self._pending[op_id] = ("get", local_done, remote_done, scatter,
-                                local_addr)
+                                local_addr, handle)
         self._ship(ShardPacket(
             ptype="get", origin=origin, target=target, op_id=op_id,
             sort_time=self.engine.now, nbytes=nbytes,
             t_exec=req.commit_at, hop=hop, target_addr=target_addr,
             immediate=immediate, win_id=win_id, gather=gather))
-        return OpHandle("get", req.cpu_busy, local_done, remote_done,
-                        nbytes=nbytes, target=target,
-                        commit_at=req.commit_at)
+        return handle
 
     def _recv_get(self, pkt: ShardPacket) -> None:
         """Target-side half of a cross-shard get: plan + serve + respond."""
@@ -339,10 +352,13 @@ class ShardFabric(Fabric):
 
     def _recv_get_resp(self, pkt: ShardPacket) -> None:
         """Origin-side delivery of the get data."""
-        kind, local_done, remote_done, scatter, local_addr = \
+        kind, local_done, remote_done, scatter, local_addr, handle = \
             self._pending.pop(pkt.op_id)
         data_at = self._rx_reserve(pkt.target, pkt.t_commit, pkt.nbytes,
                                    pkt.G)
+        # Serial Fabric.get reports commit_at = data_at (data locally
+        # available); mirror it so cross-shard handles read the same.
+        handle.commit_at = data_at
         ospace = self.spaces[pkt.target]
         snap = pkt.data
         nbytes = pkt.nbytes

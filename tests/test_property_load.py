@@ -1,0 +1,240 @@
+"""Property tests for the open-loop load generator (repro.bench.load).
+
+Two contracts are pinned here because the service benchmarks depend on
+them verbatim:
+
+* :class:`LatencyDigest` percentiles agree with the brute-force numpy
+  order-statistic oracle (``np.percentile(..., method="inverted_cdf")``)
+  to within one geometric bucket width — and, exactly, the digest
+  always reports the midpoint of the bucket *containing* the oracle
+  value.
+* :func:`arrival_times` schedules are pure functions of
+  ``(seed, label)``: byte-identical on replay, byte-identical in a
+  forked worker (the ``--jobs`` / ``--shards`` execution paths), and
+  strictly increasing.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.load import (
+    ARRIVAL_PROCESSES,
+    LatencyDigest,
+    ZipfKeys,
+    arrival_times,
+)
+from repro.sim.rng import RngStream
+
+# in-range latency samples: the digest default span is [1e-2, 1e7) µs
+_samples = st.lists(
+    st.floats(min_value=1e-2, max_value=9e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=200)
+
+_percentiles = st.sampled_from([50.0, 90.0, 99.0, 99.9, 100.0])
+
+
+def _oracle_bucket(digest: LatencyDigest, value: float) -> int:
+    """Bucket index of ``value`` via the same vectorized path recording
+    uses (np.log10), so boundary ulps can't make the test disagree with
+    the digest about which bucket a sample landed in."""
+    clipped = np.clip(np.float64(value), digest.lo_us, None)
+    idx = np.floor((np.log10(clipped) - math.log10(digest.lo_us))
+                   * digest.buckets_per_decade)
+    return int(np.clip(idx, 0, digest.nbuckets - 1))
+
+
+# ---------------------------------------------------------------------------
+# LatencyDigest vs the numpy oracle
+# ---------------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(values=_samples, p=_percentiles)
+def test_digest_percentile_matches_numpy_oracle(values, p):
+    digest = LatencyDigest()
+    digest.record_many(values)
+    got = digest.percentile(p)
+
+    arr = np.asarray(values, dtype=np.float64)
+    oracle = float(np.percentile(arr, p, method="inverted_cdf"))
+    # same exact-rank rule as the digest documents
+    k = max(1, math.ceil(len(values) * p / 100.0 - 1e-9))
+    assert oracle == float(np.sort(arr)[k - 1])
+
+    # exact: the digest reports the midpoint of the oracle's bucket
+    lo, hi = digest.bucket_bounds(_oracle_bucket(digest, oracle))
+    assert got == pytest.approx(math.sqrt(lo * hi))
+    # and therefore sits within one bucket width of the oracle
+    width = 10.0 ** (1.0 / digest.buckets_per_decade)
+    assert oracle / width <= got <= oracle * width
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=st.floats(min_value=1e-2, max_value=9e6, allow_nan=False))
+def test_digest_single_sample(value):
+    digest = LatencyDigest()
+    digest.record(value)
+    assert digest.count == 1
+    lo, hi = digest.bucket_bounds(_oracle_bucket(digest, value))
+    mid = math.sqrt(lo * hi)
+    for p in (1.0, 50.0, 99.9, 100.0):
+        assert digest.percentile(p) == pytest.approx(mid)
+
+
+def test_digest_heavy_tail_against_oracle():
+    # Pareto-style tail: most mass near 1 µs, a few samples out at 1e4+.
+    u = RngStream(7, "load-test", "tail").array(5000)
+    values = 1.0 / (1.0 - u * 0.9999) ** 1.5
+    digest = LatencyDigest()
+    digest.record_many(values)
+    for p in (50.0, 99.0, 99.9):
+        oracle = float(np.percentile(values, p, method="inverted_cdf"))
+        lo, hi = digest.bucket_bounds(_oracle_bucket(digest, oracle))
+        assert digest.percentile(p) == pytest.approx(math.sqrt(lo * hi))
+
+
+def test_digest_bucket_boundaries_are_contiguous():
+    digest = LatencyDigest()
+    for i in range(digest.nbuckets - 1):
+        lo, hi = digest.bucket_bounds(i)
+        nxt_lo, _ = digest.bucket_bounds(i + 1)
+        assert lo < hi
+        assert hi == pytest.approx(nxt_lo)
+    # recording each bucket's geometric midpoint hits exactly that bucket
+    mids = [math.sqrt(lo * hi)
+            for lo, hi in (digest.bucket_bounds(i)
+                           for i in range(digest.nbuckets))]
+    digest.record_many(mids)
+    assert digest.counts.tolist() == [1] * digest.nbuckets
+
+
+def test_digest_clamps_out_of_range_samples():
+    digest = LatencyDigest(lo_us=1.0, hi_us=100.0, buckets_per_decade=4)
+    digest.record_many([1e-9, 0.5, 1e6, 200.0])
+    assert digest.counts[0] == 2          # below lo -> first bucket
+    assert digest.counts[-1] == 2         # above hi -> last bucket
+    assert digest.count == 4
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=_samples, split=st.integers(min_value=0, max_value=200))
+def test_digest_merge_equals_single_recording(values, split):
+    split = min(split, len(values))
+    left, right = LatencyDigest(), LatencyDigest()
+    left.record_many(values[:split])
+    right.record_many(values[split:])
+    left.merge(right)
+    whole = LatencyDigest()
+    whole.record_many(values)
+    assert left.counts.tolist() == whole.counts.tolist()
+    assert left.percentile(99.0) == whole.percentile(99.0)
+
+
+def test_digest_rejects_mismatched_merge_and_bad_args():
+    digest = LatencyDigest()
+    with pytest.raises(ValueError):
+        digest.merge(LatencyDigest(buckets_per_decade=16))
+    with pytest.raises(ValueError):
+        digest.percentile(0.0)
+    with pytest.raises(ValueError):
+        digest.percentile(100.1)
+    with pytest.raises(ValueError):
+        digest.percentile(50.0)           # empty digest
+    with pytest.raises(ValueError):
+        LatencyDigest(lo_us=1.0, hi_us=1.0)
+    digest.record_many([])                # no-op, still empty
+    assert digest.count == 0
+
+
+# ---------------------------------------------------------------------------
+# arrival_times: deterministic replay
+# ---------------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       label=st.integers(min_value=0, max_value=64),
+       n=st.integers(min_value=1, max_value=256),
+       rate=st.floats(min_value=1e3, max_value=1e8),
+       process=st.sampled_from(ARRIVAL_PROCESSES))
+def test_arrivals_replay_byte_identical(seed, label, n, rate, process):
+    a = arrival_times(seed, ("svc", label), n, rate, process)
+    b = arrival_times(seed, ("svc", label), n, rate, process)
+    assert a.tobytes() == b.tobytes()
+    assert np.all(np.diff(a) > 0.0)       # strictly increasing
+    assert a[0] > 0.0
+
+
+def _fork_arrivals(queue):
+    queue.put(arrival_times(42, ("svc", 3), 128, 2e6, "poisson").tobytes())
+
+
+def test_arrivals_byte_identical_across_fork():
+    """The schedule a --jobs / --shards worker computes after fork is the
+    byte-identical schedule the parent computes (no hidden global RNG)."""
+    parent = arrival_times(42, ("svc", 3), 128, 2e6, "poisson").tobytes()
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.SimpleQueue()
+    worker = ctx.Process(target=_fork_arrivals, args=(queue,))
+    worker.start()
+    child = queue.get()
+    worker.join()
+    assert child == parent
+
+
+def test_arrivals_label_and_process_sensitivity():
+    base = arrival_times(1, "a", 64, 1e6)
+    assert arrival_times(1, "b", 64, 1e6).tobytes() != base.tobytes()
+    assert arrival_times(2, "a", 64, 1e6).tobytes() != base.tobytes()
+    assert arrival_times(1, "a", 64, 1e6,
+                         "uniform").tobytes() != base.tobytes()
+
+
+def test_arrivals_uniform_gap_bounds():
+    mean = 1e6 / 4e6
+    a = arrival_times(5, "u", 512, 4e6, "uniform")
+    gaps = np.diff(np.concatenate([[0.0], a]))
+    assert np.all(gaps >= 0.5 * mean)
+    assert np.all(gaps < 1.5 * mean)
+
+
+def test_arrivals_validation():
+    with pytest.raises(ValueError):
+        arrival_times(1, "x", 0, 1e6)
+    with pytest.raises(ValueError):
+        arrival_times(1, "x", 4, 0.0)
+    with pytest.raises(ValueError):
+        arrival_times(1, "x", 4, 1e6, "weibull")
+
+
+# ---------------------------------------------------------------------------
+# ZipfKeys
+# ---------------------------------------------------------------------------
+def test_zipf_skew_zero_is_uniform():
+    zipf = ZipfKeys(10, 0.0)
+    assert np.allclose(zipf._cdf, np.arange(1, 11) / 10.0)
+
+
+def test_zipf_deterministic_and_in_range():
+    a = ZipfKeys(64, 0.9).sample(RngStream(9, "z"), 1000)
+    b = ZipfKeys(64, 0.9).sample(RngStream(9, "z"), 1000)
+    assert a.tobytes() == b.tobytes()
+    assert a.min() >= 0 and a.max() < 64
+
+
+def test_zipf_concentrates_on_low_keys():
+    keys = ZipfKeys(64, 1.2).sample(RngStream(11, "z"), 4000)
+    counts = np.bincount(keys, minlength=64)
+    assert counts[0] > counts[32] > 0 or counts[32] == 0
+    assert counts[0] == counts.max()
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        ZipfKeys(0)
+    with pytest.raises(ValueError):
+        ZipfKeys(4, -0.1)

@@ -1,0 +1,215 @@
+"""Golden-trace determinism tests for the service workloads.
+
+The service drivers return their *full* traces — final store contents,
+per-server notification-processing orders, per-subscriber delivery
+orders, and every measured latency — and the contract mirrored from
+``tests/test_shard_equiv.py`` is verbatim equality: a sharded run must
+reproduce the serial run's dict exactly, and two serial runs of the same
+seed must agree byte for byte.  On top of the equality checks, small
+instances are pinned against independently recomputed goldens (exact
+event counts from the workload plans, store contents from the last
+writer per key, delivery multisets from the fan-out sets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.services import (
+    build_kv_workload,
+    build_pubsub_workload,
+    run_kv,
+    run_pubsub,
+)
+from repro.apps.services.kv import (
+    _expected_gets,
+    _expected_records,
+    copy_servers,
+    seed_value,
+)
+from repro.cluster import ClusterConfig
+from repro.errors import ReproError
+
+_KV_SMALL = dict(nservers=2, nclients=2, replication=2, reqs_per_client=8,
+                 rate_rps=500_000.0, nkeys=16, verify=True, seed=7)
+_PS_SMALL = dict(nbrokers=2, npubs=2, nsubs=3, ntopics=4, fanout=2,
+                 msgs_per_pub=8, rate_rps=500_000.0, batch=2, seed=7)
+
+
+def _kv_config(shards: int = 0) -> ClusterConfig:
+    return ClusterConfig(nranks=4, ranks_per_node=2, shards=shards)
+
+
+def _ps_config(shards: int = 0) -> ClusterConfig:
+    return ClusterConfig(nranks=7, ranks_per_node=2, shards=shards)
+
+
+# ---------------------------------------------------------------------------
+# Workload plans: pure functions of the seed
+# ---------------------------------------------------------------------------
+def test_kv_workload_plan_is_deterministic():
+    a = build_kv_workload(7, 2, 8, 5e5, 0.5, 16, 0.9)
+    b = build_kv_workload(7, 2, 8, 5e5, 0.5, 16, 0.9)
+    for pa, pb in zip(a, b):
+        assert pa.arrivals.tobytes() == pb.arrivals.tobytes()
+        assert pa.keys.tobytes() == pb.keys.tobytes()
+        assert pa.is_get.tobytes() == pb.is_get.tobytes()
+    assert build_kv_workload(8, 2, 8, 5e5, 0.5, 16,
+                             0.9)[0].keys.tobytes() != a[0].keys.tobytes()
+
+
+def test_kv_copy_servers_chain():
+    assert copy_servers(5, 4, 3) == [1, 2, 3]
+    assert copy_servers(3, 4, 2) == [3, 0]
+    # expected counts partition the workload exactly
+    plans = build_kv_workload(7, 2, 8, 5e5, 0.5, 16, 0.9)
+    puts = sum((~p.is_get).sum() for p in plans)
+    gets = sum(p.is_get.sum() for p in plans)
+    assert sum(_expected_records(plans, s, 2, 2) for s in range(2)) \
+        == 2 * puts
+    assert sum(_expected_gets(plans, s, 2) for s in range(2)) == gets
+
+
+def test_pubsub_workload_plan_counts():
+    plan = build_pubsub_workload(7, 2, 3, 2, 4, 2, 8, 5e5, 0.9)
+    assert len(plan.subs_of_topic) == 4
+    for subs in plan.subs_of_topic:
+        assert len(subs) == 2 and subs == sorted(subs)
+    # the delivery matrix partitions fanout * messages exactly
+    assert sum(sum(row) for row in plan.deliveries) == 2 * 2 * 8
+
+
+# ---------------------------------------------------------------------------
+# KV: golden trace, serial vs sharded
+# ---------------------------------------------------------------------------
+def test_kv_serial_repeat_is_identical():
+    a = run_kv(config=_kv_config(), **_KV_SMALL)
+    b = run_kv(config=_kv_config(), **_KV_SMALL)
+    assert a == b
+
+
+def test_kv_golden_counts_and_stores():
+    r = run_kv(config=_kv_config(), **_KV_SMALL)
+    plans = build_kv_workload(7, 2, 8, 5e5, 0.5, 16, 0.9)
+    puts = int(sum((~p.is_get).sum() for p in plans))
+    gets = int(sum(p.is_get.sum() for p in plans))
+    assert r["requests"] == 16
+    assert r["completed"] == 16
+    assert r["acked"] == 2 * puts          # replication copies acked
+    assert r["served"] == gets
+    assert len(r["lat_put_us"]) <= puts
+    assert len(r["lat_get_us"]) <= gets
+    assert all(v > 0.0 for v in r["lat_put_us"] + r["lat_get_us"])
+    assert r["t_end_us"] > 0.0
+    # every store entry is a value some client actually wrote there
+    written = {}
+    for c, plan in enumerate(plans):
+        for i, (key, is_get) in enumerate(zip(plan.keys, plan.is_get)):
+            if not is_get:
+                written.setdefault(int(key), set()).add(float(c * 8 + i))
+    for server, store in enumerate(r["stores"]):
+        for key, value in store.items():
+            assert server in copy_servers(key, 2, 2)
+            assert value in written[key]
+    # server orders cover exactly the expected notifications
+    for server, order in enumerate(r["server_orders"]):
+        kinds = [k for k, _, _ in order]
+        assert kinds.count("put") == _expected_records(plans, server, 2, 2)
+        assert kinds.count("get") == _expected_gets(plans, server, 2)
+
+
+@pytest.mark.parametrize("shards", [2])
+def test_kv_sharded_equals_serial(shards):
+    serial = run_kv(config=_kv_config(), **_KV_SMALL)
+    sharded = run_kv(config=_kv_config(shards), **_KV_SMALL)
+    assert sharded == serial
+
+
+def test_kv_validation_errors():
+    with pytest.raises(ReproError):
+        run_kv(nservers=0)
+    with pytest.raises(ReproError):
+        run_kv(nservers=2, replication=3)
+    with pytest.raises(ReproError):
+        run_kv(reqs_per_client=0x10000)
+    with pytest.raises(ReproError):
+        run_kv(config=ClusterConfig(nranks=3))
+
+
+def test_kv_seed_values_are_readable_before_any_write():
+    # get-only workload: verify=True checks every reply against the
+    # legal-value sets, which here are exactly the seed values
+    r = run_kv(get_frac=1.1, config=_kv_config(), **_KV_SMALL)
+    assert r["stores"] == [{}, {}]
+    assert r["lat_put_us"] == []
+    assert r["served"] == 16
+    assert seed_value(3) == 10.0
+
+
+# ---------------------------------------------------------------------------
+# Pub/sub: golden trace, serial vs sharded
+# ---------------------------------------------------------------------------
+def test_pubsub_serial_repeat_is_identical():
+    a = run_pubsub(config=_ps_config(), **_PS_SMALL)
+    b = run_pubsub(config=_ps_config(), **_PS_SMALL)
+    assert a == b
+
+
+def test_pubsub_golden_counts_and_deliveries():
+    r = run_pubsub(config=_ps_config(), **_PS_SMALL)
+    plan = build_pubsub_workload(7, 2, 3, 2, 4, 2, 8, 5e5, 0.9)
+    total = sum(sum(row) for row in plan.deliveries)
+    assert r["published"] == 16
+    assert r["forwarded"] == total
+    assert r["delivered"] == total
+    # per-subscriber delivery multisets match the plan's fan-out sets
+    want = [[] for _ in range(3)]
+    for p in range(2):
+        for t in plan.topics[p]:
+            for s in plan.subs_of_topic[int(t)]:
+                want[s].append((int(t), p))
+    for s, got in enumerate(r["sub_deliveries"]):
+        assert sorted(got) == sorted(want[s])
+    assert all(v > 0.0 for v in r["lat_us"])
+
+
+@pytest.mark.parametrize("shards", [2])
+def test_pubsub_sharded_equals_serial(shards):
+    serial = run_pubsub(config=_ps_config(), **_PS_SMALL)
+    sharded = run_pubsub(config=_ps_config(shards), **_PS_SMALL)
+    assert sharded == serial
+
+
+def test_pubsub_batch_one_wakes_per_message():
+    # batch=1 measures per-message wakeups: same deliveries, every
+    # in-measurement latency present, and the tail can only shrink
+    r1 = run_pubsub(config=_ps_config(), **{**_PS_SMALL, "batch": 1})
+    r2 = run_pubsub(config=_ps_config(), **_PS_SMALL)
+    assert r1["delivered"] == r2["delivered"]
+    assert sorted(map(sorted, r1["sub_deliveries"])) == \
+        sorted(map(sorted, r2["sub_deliveries"]))
+    if r1["lat_us"] and r2["lat_us"]:
+        assert max(r1["lat_us"]) <= max(r2["lat_us"]) + 1e-9
+
+
+def test_pubsub_validation_errors():
+    with pytest.raises(ReproError):
+        run_pubsub(nbrokers=0)
+    with pytest.raises(ReproError):
+        run_pubsub(nsubs=2, fanout=3)
+    with pytest.raises(ReproError):
+        run_pubsub(batch=0)
+    with pytest.raises(ReproError):
+        run_pubsub(config=ClusterConfig(nranks=3))
+
+
+# ---------------------------------------------------------------------------
+# Latencies are event-clock quantities (not observation times)
+# ---------------------------------------------------------------------------
+def test_kv_latencies_are_float64_virtual_times():
+    r = run_kv(config=_kv_config(), **_KV_SMALL)
+    assert all(isinstance(v, float) or isinstance(v, np.floating)
+               for v in r["lat_put_us"] + r["lat_get_us"])
+    assert r["lat_put_us"] == sorted(r["lat_put_us"])
+    assert r["lat_get_us"] == sorted(r["lat_get_us"])
