@@ -9,7 +9,9 @@ before a single simulated cycle:
 * :mod:`repro.analysis.budget` — notification-budget balance under the
   ``ANY_SOURCE``/``ANY_TAG`` wildcard lattice;
 * :mod:`repro.analysis.deadlock` — wait-for cycles across ranks;
-* :mod:`repro.analysis.epochs` — epoch/flush discipline lint.
+* :mod:`repro.analysis.epochs` — epoch/flush discipline lint;
+* :mod:`repro.analysis.races` — data-race / buffer-overlap detection
+  over symbolic byte intervals and a static happens-before lattice.
 
 Entry points: ``python -m repro.analysis <paths>``, the ``--analyze``
 pytest flag, and :func:`analyze_paths` for programmatic use.
@@ -25,6 +27,7 @@ from repro.analysis.epochs import lint_epochs
 from repro.analysis.extract import extract_file
 from repro.analysis.instantiate import instantiate
 from repro.analysis.ir import Program
+from repro.analysis.races import check_races
 from repro.analysis.report import Finding, Report
 
 __all__ = [
@@ -51,6 +54,7 @@ def analyze_program(program: Program) -> list[Finding]:
         traces = instantiate(program, size)
         findings.extend(check_budget(program, size, traces))
         findings.extend(check_deadlock(program, size, traces))
+        findings.extend(check_races(program, size, traces))
     return findings
 
 

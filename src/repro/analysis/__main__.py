@@ -22,6 +22,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="Python files or directories to analyze")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the per-file summary line")
+    parser.add_argument("--races", action="store_true",
+                        help="report only data-race findings (race.*)")
+    parser.add_argument("--report", metavar="PATH",
+                        help="also write the findings, one per line, "
+                             "to PATH (useful as a CI artifact)")
     args = parser.parse_args(argv)
 
     files = collect_files(args.paths)
@@ -30,8 +35,14 @@ def main(argv: list[str] | None = None) -> int:
               + " ".join(args.paths), file=sys.stderr)
         return 2
     findings = analyze_paths(args.paths)
+    if args.races:
+        findings = [f for f in findings if f.check.startswith("race.")]
     for finding in findings:
         print(finding.format())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            for finding in findings:
+                fh.write(finding.format() + "\n")
     if not args.quiet:
         status = (f"{len(findings)} finding(s)" if findings
                   else "clean")

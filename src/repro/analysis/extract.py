@@ -27,6 +27,7 @@ from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 
 _ANALYZE_RE = re.compile(r"#\s*analyze:\s*(.+?)\s*$")
 _RAW_OK_RE = re.compile(r"#\s*protocol:\s*raw-ok")
+_RACE_OK_RE = re.compile(r"#\s*protocol:\s*race-ok")
 
 #: modules whose attributes resolve to wildcard constants
 _WILDCARDS = {
@@ -39,13 +40,16 @@ _WILDCARDS = {
 #: foMPI shim functions: name -> (kind, {role: positional index after ctx})
 #: (keyword names per repro.fompi signatures)
 _FOMPI_TABLE: dict[str, tuple[str, dict[str, int]]] = {
-    "Win_allocate": ("win_allocate", {}),
+    "Win_allocate": ("win_allocate", {"size": 0, "disp_unit": 1}),
     "Win_free": ("win_free", {"win": 0}),
     "Win_flush": ("win_flush", {"target": 0, "win": 1}),
     "Win_flush_local": ("win_flush_local", {"target": 0, "win": 1}),
-    "Put_notify": ("put_notify", {"win": 7, "target": 3, "tag": 8}),
+    "Put_notify": ("put_notify",
+                    {"win": 7, "target": 3, "tag": 8, "disp": 4,
+                     "count": 5, "dtype": 6}),
     "Get_notify": ("get_notify",
-                   {"buf": 0, "win": 7, "target": 3, "tag": 8}),
+                   {"buf": 0, "win": 7, "target": 3, "tag": 8,
+                    "disp": 4, "count": 5, "dtype": 6}),
     "Notify_init": ("notify_init",
                     {"win": 0, "source": 1, "tag": 2, "expected": 3}),
     "Start": ("na_start", {"req": 0}),
@@ -58,18 +62,25 @@ _FOMPI_TABLE: dict[str, tuple[str, dict[str, int]]] = {
 _FOMPI_KW = {
     "win": "win", "target_rank": "target", "source_rank": "source",
     "tag": "tag", "expected_count": "expected", "request": "req",
+    "size": "size", "disp_unit": "disp_unit", "target_disp": "disp",
+    "target_count": "count", "target_datatype": "dtype",
 }
 
 #: ctx.na.<method>: kind + argument roles (positional index / kw name)
 _NA_TABLE: dict[str, tuple[str, dict[str, tuple[int, str]]]] = {
     "put_notify": ("put_notify",
-                   {"win": (0, "win"), "target": (2, "target"),
+                   {"win": (0, "win"), "data": (1, "data"),
+                    "target": (2, "target"), "disp": (3, "target_disp"),
                     "tag": (4, "tag")}),
     "get_notify": ("get_notify",
                    {"win": (0, "win"), "buf": (1, "buf_region"),
-                    "target": (2, "target"), "tag": (5, "tag")}),
+                    "target": (2, "target"), "disp": (3, "target_disp"),
+                    "nbytes": (4, "nbytes"), "tag": (5, "tag"),
+                    "local_offset": (6, "local_offset")}),
     "accumulate_notify": ("accumulate_notify",
-                          {"win": (0, "win"), "target": (2, "target"),
+                          {"win": (0, "win"), "data": (1, "data"),
+                           "target": (2, "target"),
+                           "disp": (3, "target_disp"),
                            "tag": (5, "tag")}),
     "notify_init": ("notify_init",
                     {"win": (0, "win"), "source": (1, "source"),
@@ -99,7 +110,8 @@ _COUNTER_TABLE: dict[str, tuple[str, dict[str, tuple[int, str]]]] = {
     "wait": ("counter_wait", {"req": (0, "req")}),
     "request_free": ("counter_request_free", {"req": (0, "req")}),
     "put_counted": ("put_counted",
-                    {"win": (0, "win"), "target": (2, "target"),
+                    {"win": (0, "win"), "data": (1, "data"),
+                     "target": (2, "target"), "disp": (3, "target_disp"),
                      "tag": (4, "tag")}),
 }
 
@@ -108,7 +120,8 @@ _GASPI_TABLE: dict[str, tuple[str, dict[str, tuple[int, str]]]] = {
                           {"win": (0, "win"), "num": (1, "num")}),
     "waitsome": ("waitsome", {"space": (0, "space")}),
     "write_notify": ("write_notify",
-                     {"win": (0, "win"), "target": (2, "target"),
+                     {"win": (0, "win"), "data": (1, "data"),
+                      "target": (2, "target"), "disp": (3, "target_disp"),
                       "slot": (4, "slot")}),
 }
 
@@ -136,9 +149,15 @@ _COMM_TABLE: dict[str, tuple[str, dict[str, tuple[int, str]]]] = {
 
 #: window methods reached through an arbitrary base expression
 _WIN_TABLE: dict[str, tuple[str, dict[str, tuple[int, str]]]] = {
-    "put": ("win_put", {"target": (1, "target")}),
-    "get": ("win_get", {"buf": (0, "buf_region"), "target": (1, "target")}),
-    "accumulate": ("win_accumulate", {"target": (1, "target")}),
+    "put": ("win_put", {"data": (0, "data"), "target": (1, "target"),
+                        "disp": (2, "target_disp")}),
+    "get": ("win_get", {"buf": (0, "buf_region"), "target": (1, "target"),
+                        "disp": (2, "target_disp"),
+                        "nbytes": (3, "nbytes"),
+                        "local_offset": (4, "local_offset")}),
+    "accumulate": ("win_accumulate",
+                   {"data": (0, "data"), "target": (1, "target"),
+                    "disp": (2, "target_disp")}),
     "fetch_and_op": ("win_fetch_and_op", {"target": (1, "target")}),
     "compare_and_swap": ("win_compare_and_swap", {"target": (2, "target")}),
     "flush": ("win_flush", {"target": (0, "target")}),
@@ -182,17 +201,23 @@ class _Annotations:
     args: list[object] = field(default_factory=list)
     skip: bool = False
     raw_ok_lines: set[int] = field(default_factory=set)
+    race_ok_lines: set[int] = field(default_factory=set)
 
 
 class _Translator(ast.NodeVisitor):
     """Translates one function body; stateless across functions."""
 
     def __init__(self, ctx_name: str, fompi_aliases: set[str],
-                 fompi_names: set[str], typed_names: set[str]):
+                 fompi_names: set[str], typed_names: set[str],
+                 np_aliases: set[str] | frozenset[str] = frozenset(),
+                 helpers: dict[str, tuple[tuple[str, ...],
+                                          sym.SymExpr]] | None = None):
         self.ctx_name = ctx_name
         self.fompi_aliases = fompi_aliases
         self.fompi_names = fompi_names
         self.typed_names = typed_names
+        self.np_aliases = np_aliases
+        self.helpers = helpers if helpers is not None else {}
 
     # -- expressions ----------------------------------------------------
     def expr(self, node: ast.expr | None) -> sym.SymExpr:
@@ -222,6 +247,9 @@ class _Translator(ast.NodeVisitor):
         if isinstance(base, ast.Name) and base.id in self.fompi_aliases \
                 and node.attr in _WILDCARDS:
             return sym.Const(_WILDCARDS[node.attr])
+        if isinstance(base, ast.Name) and base.id in self.np_aliases \
+                and node.attr in sym.NP_DTYPES:
+            return sym.Const(sym.DTypeVal(sym.NP_DTYPES[node.attr]))
         if node.attr in _WILDCARDS and _ends_with_constants(node):
             return sym.Const(_WILDCARDS[node.attr])
         return sym.Opaque(f".{node.attr}")
@@ -283,13 +311,40 @@ class _Translator(ast.NodeVisitor):
         if isinstance(func, ast.Name):
             if func.id in sym._PURE_FUNCS and not node.keywords:
                 return sym.PureCall(func.id, args)
+            helper = self.helpers.get(func.id)
+            if helper is not None and not node.keywords and \
+                    len(args) == len(node.args) and \
+                    len(args) == len(helper[0]):
+                return sym.HelperCall(func.id, helper[0], helper[1], args)
             return sym.Opaque(f"{func.id}()")
         if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and \
+                    base.id in self.np_aliases and \
+                    func.attr in sym.NP_CTORS and \
+                    len(args) == len(node.args):
+                ctor = self._np_ctor(func.attr, node, args)
+                if ctor is not None:
+                    return ctor
             if func.attr in sym._PURE_METHODS and not node.keywords:
                 return sym.MethodCall(self.expr(func.value), func.attr,
                                       args)
             return sym.Opaque(f".{func.attr}()")
         return sym.Opaque("call")
+
+    def _np_ctor(self, name: str, node: ast.Call,
+                 args: tuple[sym.SymExpr, ...]) -> sym.SymExpr | None:
+        if any(kw.arg != "dtype" for kw in node.keywords):
+            return None
+        dtype: sym.SymExpr = sym.Const(None)
+        for keyword in node.keywords:
+            dtype = self.expr(keyword.value)
+        pos = {"zeros": 1, "ones": 1, "empty": 1, "array": 1,
+               "full": 2}.get(name)
+        if pos is not None and len(args) > pos:
+            dtype = args[pos]
+            args = args[:pos] + args[pos + 1:]
+        return sym.ArrayCtor(name, args, dtype)
 
     # -- api-call recognition -------------------------------------------
     def recognize(self, node: ast.expr) -> ir.Op | None:
@@ -316,11 +371,11 @@ class _Translator(ast.NodeVisitor):
             # ctx.<method>(...)
             if isinstance(base, ast.Name) and base.id == self.ctx_name:
                 if func.attr == "win_allocate":
-                    return ir.Op("win_allocate", line=line)
+                    return self._ctx_alloc_op("win_allocate", node, line)
                 if func.attr == "barrier":
                     return ir.Op("barrier", line=line)
                 if func.attr == "alloc":
-                    return ir.Op("alloc", line=line)
+                    return self._ctx_alloc_op("alloc", node, line)
                 if func.attr in ("san_acquire", "san_acquire_at"):
                     return ir.Op("san_acquire", line=line)
                 if func.attr in _CTX_NOPS:
@@ -347,6 +402,22 @@ class _Translator(ast.NodeVisitor):
                     kwnames={kw: role for role, (_i, kw)
                              in entry[1].items()})
         return None
+
+    def _ctx_alloc_op(self, kind: str, node: ast.Call,
+                      line: int) -> ir.Op:
+        """``ctx.alloc(nbytes)`` / ``ctx.win_allocate(nbytes, disp_unit)``."""
+        op = ir.Op(kind, line=line)
+        if node.args and not isinstance(node.args[0], ast.Starred):
+            op.args["size"] = self.expr(node.args[0])
+        if kind == "win_allocate" and len(node.args) > 1 and \
+                not isinstance(node.args[1], ast.Starred):
+            op.args["disp_unit"] = self.expr(node.args[1])
+        for keyword in node.keywords:
+            if keyword.arg == "nbytes":
+                op.args["size"] = self.expr(keyword.value)
+            elif keyword.arg == "disp_unit" and kind == "win_allocate":
+                op.args["disp_unit"] = self.expr(keyword.value)
+        return op
 
     def _build_op(self, entry: tuple[str, dict[str, tuple[int, str]]],
                   node: ast.Call, line: int,
@@ -506,8 +577,9 @@ class _Translator(ast.NodeVisitor):
                 isinstance(func.value, ast.Name) and \
                 func.value.id == self.ctx_name and \
                 func.attr in ("alloc", "san_acquire", "san_acquire_at"):
-            kind = "alloc" if func.attr == "alloc" else "san_acquire"
-            return ir.Op(kind, line=node.lineno)
+            if func.attr == "alloc":
+                return self._ctx_alloc_op("alloc", node, node.lineno)
+            return ir.Op("san_acquire", line=node.lineno)
         return None
 
     def _expr_stmt(self, value: ast.expr, line: int) -> list[ir.Stmt]:
@@ -591,15 +663,27 @@ class _Translator(ast.NodeVisitor):
                 if func.attr not in ("local", "ndarray"):
                     continue
                 mode = "rw"
+                view_args: dict[str, sym.SymExpr] = {
+                    "base": self.expr(func.value)}
+                # local()/ndarray() share (dtype, offset, count, mode)
+                for role, idx in (("dtype", 0), ("offset", 1),
+                                  ("count", 2)):
+                    if idx < len(call.args) and \
+                            not isinstance(call.args[idx], ast.Starred):
+                        view_args[role] = self.expr(call.args[idx])
+                if len(call.args) > 3 and \
+                        isinstance(call.args[3], ast.Constant):
+                    mode = str(call.args[3].value)
                 for keyword in call.keywords:
                     if keyword.arg == "mode" and \
                             isinstance(keyword.value, ast.Constant):
                         mode = str(keyword.value.value)
+                    elif keyword.arg in ("dtype", "offset", "count"):
+                        view_args[keyword.arg] = self.expr(keyword.value)
                 kind = ("win_view" if func.attr == "local"
                         else "region_read")
                 out.append(ir.ExprStmt(line=call.lineno, value=ir.Op(
-                    kind, args={"base": self.expr(func.value)},
-                    line=call.lineno, mode=mode)))
+                    kind, args=view_args, line=call.lineno, mode=mode)))
         return out
 
 
@@ -678,11 +762,12 @@ def _fold_module_consts(tree: ast.Module) -> dict[str, object]:
 
 
 def _collect_imports(tree: ast.Module) -> tuple[set[str], set[str],
-                                                set[str]]:
-    """(fompi module aliases, fompi direct names, typed direct names)."""
+                                                set[str], set[str]]:
+    """(fompi aliases, fompi direct names, typed names, numpy aliases)."""
     aliases: set[str] = set()
     names: set[str] = set()
     typed: set[str] = set()
+    numpy_aliases: set[str] = set()
     for node in ast.walk(tree):
         if isinstance(node, ast.ImportFrom):
             module = node.module or ""
@@ -707,7 +792,9 @@ def _collect_imports(tree: ast.Module) -> tuple[set[str], set[str],
                     aliases.add(alias.asname or "repro.fompi")
                 elif alias.name == "repro.rma.typed":
                     aliases.add(alias.asname or alias.name)
-    return aliases, names, typed
+                elif alias.name == "numpy":
+                    numpy_aliases.add(alias.asname or "numpy")
+    return aliases, names, typed, numpy_aliases
 
 
 def _discover_sizes(tree: ast.Module,
@@ -751,8 +838,9 @@ def _parse_annotations(source: str,
 
     for idx, text in enumerate(source.splitlines(), start=1):
         raw_match = _RAW_OK_RE.search(text)
+        race_match = _RACE_OK_RE.search(text)
         analyze_match = _ANALYZE_RE.search(text)
-        if not raw_match and not analyze_match:
+        if not raw_match and not race_match and not analyze_match:
             continue
         fn = owner(idx)
         if fn is None:
@@ -760,6 +848,8 @@ def _parse_annotations(source: str,
         ann = out.setdefault(fn.name, _Annotations())
         if raw_match:
             ann.raw_ok_lines.add(idx)
+        if race_match:
+            ann.race_ok_lines.add(idx)
         if analyze_match:
             _parse_analyze(analyze_match.group(1), ann)
     return out
@@ -794,6 +884,58 @@ def _has_yield(fn: ast.FunctionDef) -> bool:
     return False
 
 
+def _lift_helper(fn: ast.FunctionDef, translator: _Translator,
+                 ) -> tuple[tuple[str, ...], sym.SymExpr] | None:
+    """Lift a straight-line pure helper function into one SymExpr.
+
+    Supported bodies: an optional docstring followed by nested
+    guard-``if``/``return`` chains ending in a plain ``return <expr>``.
+    Anything else (loops, defaults, varargs, yields) is rejected.
+    """
+    spec = fn.args
+    if spec.posonlyargs or spec.kwonlyargs or spec.vararg or \
+            spec.kwarg or spec.defaults or spec.kw_defaults or \
+            fn.decorator_list:
+        return None
+    if _has_yield(fn):
+        return None
+    params = tuple(arg.arg for arg in spec.args)
+    body = list(fn.body)
+    if body and isinstance(body[0], ast.Expr) and \
+            isinstance(body[0].value, ast.Constant):
+        body = body[1:]                         # docstring
+    expr = _fold_returns(body, translator)
+    if expr is None:
+        return None
+    return params, expr
+
+
+def _fold_returns(body: list[ast.stmt],
+                  translator: _Translator) -> sym.SymExpr | None:
+    """Fold an if/return ladder into a nested conditional expression."""
+    if not body:
+        return None
+    head, rest = body[0], body[1:]
+    if isinstance(head, ast.Return):
+        if head.value is None or rest:
+            return None
+        return translator.expr(head.value)
+    if isinstance(head, ast.If):
+        then = _fold_returns(head.body, translator)
+        if then is None:
+            return None
+        if head.orelse:
+            if rest:
+                return None
+            other = _fold_returns(head.orelse, translator)
+        else:
+            other = _fold_returns(rest, translator)
+        if other is None:
+            return None
+        return sym.IfExp(translator.expr(head.test), then, other)
+    return None
+
+
 def extract_file(path: str, source: str | None = None) -> list[ir.Program]:
     """Extract every rank program from one Python source file."""
     if source is None:
@@ -804,9 +946,24 @@ def extract_file(path: str, source: str | None = None) -> list[ir.Program]:
     except SyntaxError:
         return []
     consts = _fold_module_consts(tree)
-    aliases, fompi_names, typed_names = _collect_imports(tree)
+    aliases, fompi_names, typed_names, np_aliases = _collect_imports(tree)
     sizes = _discover_sizes(tree, consts)
     annotations = _parse_annotations(source, tree)
+
+    # Pure module-level helpers become inlinable symbolic bodies so
+    # rank/size-affine offsets routed through them stay resolvable.
+    helpers: dict[str, tuple[tuple[str, ...], sym.SymExpr]] = {}
+    helper_translator = _Translator("\0", aliases, fompi_names,
+                                    typed_names, np_aliases, helpers)
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        fn_args = node.args.posonlyargs + node.args.args
+        if fn_args and fn_args[0].arg == "ctx":
+            continue
+        lifted = _lift_helper(node, helper_translator)
+        if lifted is not None:
+            helpers[node.name] = lifted
 
     programs: list[ir.Program] = []
     parents: dict[int, str] = {}
@@ -823,7 +980,7 @@ def extract_file(path: str, source: str | None = None) -> list[ir.Program]:
             continue
         ann = annotations.get(node.name, _Annotations())
         translator = _Translator(args[0].arg, aliases, fompi_names,
-                                 typed_names)
+                                 typed_names, np_aliases, helpers)
         parent = parents.get(id(node))
         qualname = f"{parent}.<locals>.{node.name}" if parent \
             else node.name
@@ -835,6 +992,7 @@ def extract_file(path: str, source: str | None = None) -> list[ir.Program]:
             sizes=list(ann.nranks or sizes.get(node.name, [])),
             arg_values=list(ann.args),
             raw_ok_lines=frozenset(ann.raw_ok_lines),
+            race_ok_lines=frozenset(ann.race_ok_lines),
             skipped=ann.skip,
             module_consts=consts,
         )

@@ -44,6 +44,18 @@ class SpaceVal:
 
 
 @dataclass(frozen=True)
+class AllocVal:
+    """A local region from the n-th ``ctx.alloc`` on this rank.
+
+    ``nbytes`` is -1 when the allocation size is not statically known.
+    """
+
+    rank: int
+    index: int
+    nbytes: int = -1
+
+
+@dataclass(frozen=True)
 class ReqVal:
     """A persistent notification/counter request."""
 
@@ -69,6 +81,19 @@ class COp:
     tag: int = ANY_TAG
     expected: int = 1
     req: ReqVal | None = None
+    # -- race-checker payload geometry (defaults = not applicable) -------
+    #: transferred bytes (-1 when not statically known)
+    nbytes: int = -1
+    #: target displacement (posts) / view byte offset (views)
+    disp: int = 0
+    #: data direction: "put" | "get" | "acc" for posts, "r" | "w" for views
+    rma: str = ""
+    #: local region a get delivers into / a view reads from
+    buf: AllocVal | None = None
+    #: byte offset into ``buf``
+    buf_off: int = 0
+    #: flush_local (completes only the origin-side buffers)
+    local: bool = False
 
 
 @dataclass
@@ -85,6 +110,12 @@ class Trace:
     has_poll: bool = False
     #: PSCW / lock epochs present (deadlock replay skips these)
     has_pscw: bool = False
+    #: race geometry fully resolved (False silences only the race check;
+    #: budget/deadlock/epoch checks keep their own ``exact`` flag)
+    race_exact: bool = True
+    race_reason: str = ""
+    #: window index -> (payload nbytes or -1, disp_unit) on this rank
+    win_meta: dict[int, tuple[int, int]] = field(default_factory=dict)
 
 
 class _Inexact(Exception):
@@ -106,14 +137,24 @@ class _Return(Exception):
 
 #: op kinds with no effect on the cross-rank checkers
 _SILENT_KINDS = frozenset({
-    "alloc", "nop", "san_acquire", "win_view", "region_read",
-    "win_put", "win_get", "win_accumulate", "win_fetch_and_op",
-    "put_typed", "get_typed",
-    "win_compare_and_swap", "win_flush",
-    "win_flush_local", "win_flush_all", "win_flush_local_all",
-    "win_lock", "win_unlock", "win_lock_all", "win_unlock_all",
-    "win_free", "na_request_free", "counter_request_free",
+    "nop", "na_request_free", "counter_request_free",
 })
+
+#: ops whose byte-level effects the race checker does not model;
+#: their presence downgrades only the race check, nothing else
+_RACE_BAIL_KINDS = frozenset({
+    "san_acquire", "win_fetch_and_op", "win_compare_and_swap",
+    "put_typed", "get_typed",
+    "win_lock", "win_unlock", "win_lock_all", "win_unlock_all",
+})
+
+#: origin-side completion ops -> (flush-local-only, flushes-all-targets)
+_FLUSH_KINDS = {
+    "win_flush": (False, False),
+    "win_flush_local": (True, False),
+    "win_flush_all": (False, True),
+    "win_flush_local_all": (True, True),
+}
 
 _PSCW_KINDS = frozenset({
     "win_post", "win_start", "win_complete", "win_wait_pscw",
@@ -139,6 +180,7 @@ class _Interp:
             else:
                 self.env.store(name, sym.UNKNOWN)
         self.win_index = 0
+        self.alloc_index = 0
         self.steps = 0
 
     # -- helpers ---------------------------------------------------------
@@ -169,6 +211,38 @@ class _Interp:
         if not isinstance(value, WindowVal):
             raise _Inexact(f"{op.kind} line {op.line}: unresolved window")
         return value
+
+    # -- race-geometry helpers (never raise: they only downgrade the
+    # race check, keeping budget/deadlock coverage untouched) -----------
+    def _race_bail(self, reason: str) -> None:
+        if self.trace.race_exact:
+            self.trace.race_exact = False
+            self.trace.race_reason = reason
+
+    def _opt_int(self, op: ir.Op, role: str,
+                 default: int | None) -> int | None:
+        """Resolve an int role; missing -> ``default``, unresolved ->
+        ``None`` after downgrading the race check."""
+        expr = op.args.get(role)
+        if expr is None:
+            return default
+        value = expr.evaluate(self.env)
+        if value is None:
+            return default             # explicit None keyword = default
+        if isinstance(value, bool) or not isinstance(value, int):
+            self._race_bail(f"line {op.line}: unresolved {role}")
+            return None
+        return value
+
+    def _try_win(self, op: ir.Op) -> WindowVal | None:
+        expr = op.args.get("win")
+        value = expr.evaluate(self.env) if expr is not None else None
+        if isinstance(value, SpaceVal):
+            return value.win
+        if isinstance(value, WindowVal):
+            return value
+        self._race_bail(f"line {op.line}: unresolved window")
+        return None
 
     def _record(self, cop: COp) -> None:
         self.trace.ops.append(cop)
@@ -285,6 +359,9 @@ class _Interp:
         kind = op.kind
         if kind in _SILENT_KINDS:
             return sym.UNKNOWN
+        if kind in _RACE_BAIL_KINDS:
+            self._race_bail(f"line {op.line}: unmodelled {kind}")
+            return sym.UNKNOWN
         if kind in _PSCW_KINDS:
             self.trace.has_pscw = True
             return sym.UNKNOWN
@@ -294,11 +371,55 @@ class _Interp:
             return sym.UNKNOWN
         if kind == "unknown":
             raise _Inexact(f"line {op.line}: unrecognized call")
+        if kind == "alloc":
+            nbytes = self._opt_int(op, "size", None)
+            val = AllocVal(self.trace.rank, self.alloc_index,
+                           -1 if nbytes is None else nbytes)
+            self.alloc_index += 1
+            return val
         if kind == "win_allocate":
             win = WindowVal(self.win_index)
             self.win_index += 1
+            size = self._opt_int(op, "size", None)
+            du = self._opt_int(op, "disp_unit", 1)
+            if size is None:
+                self._race_bail(f"line {op.line}: unresolved window size")
+            self.trace.win_meta[win.index] = (
+                -1 if size is None else size, 1 if du is None else du)
+            self._record(COp(kind="walloc", line=op.line, win=win))
             return win
-        if kind in ("barrier", "collective", "win_fence", "win_fence_end"):
+        if kind == "win_free":
+            self._record(COp(kind="wfree", line=op.line,
+                             win=self._try_win(op)))
+            return sym.UNKNOWN
+        if kind in _FLUSH_KINDS:
+            local, all_targets = _FLUSH_KINDS[kind]
+            target = None if all_targets else self._opt_int(
+                op, "target", None)
+            if not all_targets and target is None:
+                self._race_bail(f"line {op.line}: unresolved flush target")
+            self._record(COp(kind="flush", line=op.line,
+                             win=self._try_win(op), target=target,
+                             local=local))
+            return sym.UNKNOWN
+        if kind in ("win_view", "region_read"):
+            self._view(op)
+            return sym.UNKNOWN
+        if kind in ("win_put", "win_get", "win_accumulate"):
+            self._plain_rma(op)
+            return sym.UNKNOWN
+        if kind == "barrier":
+            self._record(COp(kind="barrier", line=op.line))
+            return sym.UNKNOWN
+        if kind == "collective":
+            # bcast/reduce synchronize with the root only — not a full
+            # all-to-all join, so the race replay must not treat it as one
+            self._record(COp(kind="barrier", mech="coll", line=op.line))
+            return sym.UNKNOWN
+        if kind in ("win_fence", "win_fence_end"):
+            # fence = flush_all + barrier on every rank
+            self._record(COp(kind="flush", line=op.line,
+                             win=self._try_win(op)))
             self._record(COp(kind="barrier", line=op.line))
             return sym.UNKNOWN
         if kind == "notify_init":
@@ -336,10 +457,12 @@ class _Interp:
             if target == PROC_NULL:
                 return sym.UNKNOWN
             self._check_peer(op, target)
-            self._record(COp(kind="post", mech=mech, line=op.line,
-                             win=self._win(op), target=target,
-                             source=self.trace.rank,
-                             tag=self._int(op, "tag", 0)))
+            cop = COp(kind="post", mech=mech, line=op.line,
+                      win=self._win(op), target=target,
+                      source=self.trace.rank,
+                      tag=self._int(op, "tag", 0))
+            self._post_geometry(cop, op, kind)
+            self._record(cop)
             return sym.UNKNOWN
         if kind == "gaspi_init":
             win = self._win(op)
@@ -359,10 +482,12 @@ class _Interp:
             if target == PROC_NULL:
                 return sym.UNKNOWN
             self._check_peer(op, target)
-            self._record(COp(kind="post", mech="gaspi", line=op.line,
-                             win=self._win(op), target=target,
-                             source=self.trace.rank,
-                             tag=self._int(op, "slot", 0)))
+            cop = COp(kind="post", mech="gaspi", line=op.line,
+                      win=self._win(op), target=target,
+                      source=self.trace.rank,
+                      tag=self._int(op, "slot", 0))
+            self._post_geometry(cop, op, "write_notify")
+            self._record(cop)
             return sym.UNKNOWN
         if kind == "send":
             target = self._int(op, "target")
@@ -422,6 +547,118 @@ class _Interp:
             return None
         # anything else is outside the modelled fragment
         raise _Inexact(f"line {op.line}: unmodelled op {kind}")
+
+    def _post_geometry(self, cop: COp, op: ir.Op, kind: str) -> None:
+        """Resolve the byte range a post touches at its target (and, for
+        gets, the local buffer its delivery writes)."""
+        if kind == "flush_notify":
+            cop.rma = "put"
+            cop.nbytes = 0
+            return
+        disp = self._opt_int(op, "disp", 0)
+        cop.disp = 0 if disp is None else disp
+        if kind == "get_notify":
+            cop.rma = "get"
+            buf_expr = op.args.get("buf")
+            buf = (buf_expr.evaluate(self.env)
+                   if buf_expr is not None else None)
+            if isinstance(buf, AllocVal):
+                cop.buf = buf
+            else:
+                self._race_bail(f"line {op.line}: unresolved get buffer")
+            off = self._opt_int(op, "local_offset", 0)
+            cop.buf_off = 0 if off is None else off
+            nbytes = self._opt_int(op, "nbytes", None)
+            if nbytes is None:
+                if cop.buf is not None and cop.buf.nbytes >= 0:
+                    cop.nbytes = cop.buf.nbytes - cop.buf_off
+                else:
+                    self._race_bail(
+                        f"line {op.line}: unresolved get nbytes")
+            else:
+                cop.nbytes = nbytes
+            return
+        cop.rma = "acc" if kind == "accumulate_notify" else "put"
+        cop.nbytes = self._data_nbytes(op)
+
+    def _data_nbytes(self, op: ir.Op) -> int:
+        data_expr = op.args.get("data")
+        if data_expr is not None:
+            value = data_expr.evaluate(self.env)
+            if isinstance(value, sym.ArrayVal):
+                return value.nbytes
+            self._race_bail(f"line {op.line}: unresolved payload size")
+            return -1
+        # foMPI-style (count, datatype) payloads
+        count = self._opt_int(op, "count", None)
+        dtype_expr = op.args.get("dtype")
+        dtype = (dtype_expr.evaluate(self.env)
+                 if dtype_expr is not None else None)
+        if count is not None and isinstance(dtype, sym.DTypeVal):
+            return count * dtype.itemsize
+        self._race_bail(f"line {op.line}: unresolved payload size")
+        return -1
+
+    def _view(self, op: ir.Op) -> None:
+        mode = op.mode or "rw"
+        if mode == "raw":
+            return                      # raw views are the raw-view lint's job
+        base_expr = op.args.get("base")
+        base = (base_expr.evaluate(self.env)
+                if base_expr is not None else None)
+        win: WindowVal | None = None
+        buf: AllocVal | None = None
+        seg_nbytes = -1
+        if isinstance(base, WindowVal):
+            win = base
+            seg_nbytes = self.trace.win_meta.get(base.index, (-1, 1))[0]
+        elif isinstance(base, AllocVal):
+            buf = base
+            seg_nbytes = base.nbytes
+        else:
+            self._race_bail(f"line {op.line}: unresolved view base")
+            return
+        itemsize = 1                    # np.uint8 default
+        dtype_expr = op.args.get("dtype")
+        if dtype_expr is not None:
+            dtype = dtype_expr.evaluate(self.env)
+            if isinstance(dtype, sym.DTypeVal):
+                itemsize = dtype.itemsize
+            elif dtype is not None:
+                self._race_bail(f"line {op.line}: unresolved view dtype")
+                return
+        offset = self._opt_int(op, "offset", 0)
+        if offset is None:
+            return
+        count = self._opt_int(op, "count", None)
+        if count is None:
+            if seg_nbytes < 0:
+                self._race_bail(f"line {op.line}: view on unsized segment")
+                return
+            length = max(0, ((seg_nbytes - offset) // itemsize) * itemsize)
+        else:
+            length = count * itemsize
+        self._record(COp(kind="view", line=op.line, win=win, buf=buf,
+                         disp=offset, nbytes=length,
+                         rma="w" if mode == "rw" else "r"))
+
+    def _plain_rma(self, op: ir.Op) -> None:
+        """Non-notified window accesses (win.put/get/accumulate)."""
+        target = self._opt_int(op, "target", None)
+        if target is None or target == PROC_NULL:
+            return
+        if not 0 <= target < self.trace.size:
+            self._race_bail(f"line {op.line}: peer {target} out of range")
+            return
+        win = self._try_win(op)
+        if win is None:
+            return
+        cop = COp(kind="rma", line=op.line, win=win, target=target,
+                  source=self.trace.rank)
+        geometry_as = {"win_get": "get_notify",
+                       "win_accumulate": "accumulate_notify"}
+        self._post_geometry(cop, op, geometry_as.get(op.kind, "put_notify"))
+        self._record(cop)
 
     def _make_req(self, op: ir.Op, mech: str) -> ReqVal:
         source = self._int(op, "source", ANY_SOURCE)

@@ -166,6 +166,8 @@ class Program:
     arg_values: list[object] = field(default_factory=list)
     #: lines carrying a ``# protocol: raw-ok`` blessing
     raw_ok_lines: frozenset[int] = frozenset()
+    #: lines carrying a ``# protocol: race-ok`` waiver
+    race_ok_lines: frozenset[int] = frozenset()
     #: ``# analyze: skip`` disables the whole program
     skipped: bool = False
     #: module-level constants visible to the program

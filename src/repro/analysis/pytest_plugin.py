@@ -1,9 +1,10 @@
 """Pytest integration for the static protocol verifier.
 
 Registered from the repository's root ``conftest.py`` via
-``pytest_plugins``.  Passing ``--analyze`` runs the verifier over the
-standard trees (``src/repro/apps``, ``examples``, ``benchmarks``)
-before collection and aborts the session on any finding — the local
+``pytest_plugins``.  Passing ``--analyze`` runs the verifier — budget,
+deadlock, epoch lint, and the static race checker — over the standard
+trees (``src/repro/apps``, ``examples``, ``benchmarks``) before
+collection and aborts the session on any finding — the local
 equivalent of the CI ``analyze`` job.
 """
 

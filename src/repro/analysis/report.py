@@ -36,14 +36,24 @@ class Finding:
 
 @dataclass
 class Report:
-    """Accumulates findings across files, deduplicated and sorted."""
+    """Accumulates findings across files, deduplicated and sorted.
+
+    A program instantiated for several communicator sizes usually
+    reproduces the same defect at every size; findings differing only
+    in ``size`` (and the rank pair it happened to bind) are collapsed
+    onto the first one seen — the smallest size, since
+    :func:`repro.analysis.analyze_program` iterates sizes ascending.
+    """
 
     findings: list[Finding] = field(default_factory=list)
-    _seen: set[Finding] = field(default_factory=set)
+    _seen: set[tuple[str, str, int, str, str, tuple[int, ...]]] = field(
+        default_factory=set)
 
     def add(self, finding: Finding) -> None:
-        if finding not in self._seen:
-            self._seen.add(finding)
+        key = (finding.check, finding.path, finding.line,
+               finding.program, finding.message, finding.ranks)
+        if key not in self._seen:
+            self._seen.add(key)
             self.findings.append(finding)
 
     def extend(self, findings: list[Finding]) -> None:

@@ -347,6 +347,139 @@ class Sub(SymExpr):
         return f"{self.value.pretty()}[{self.index.pretty()}]"
 
 
+@dataclass(frozen=True)
+class DTypeVal:
+    """A resolved numpy dtype — all the checkers need is the itemsize."""
+
+    itemsize: int
+
+
+@dataclass(frozen=True)
+class ArrayVal:
+    """Shape/dtype summary of a numpy array constructor result.
+
+    The race checker sizes RMA payloads from these; element values are
+    never tracked (an array's *contents* cannot carry protocol effects).
+    """
+
+    count: int
+    itemsize: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.itemsize
+
+
+#: numpy dtype names the extractor resolves to an itemsize
+NP_DTYPES: dict[str, int] = {
+    "bool_": 1, "int8": 1, "uint8": 1, "int16": 2, "uint16": 2,
+    "float16": 2, "int32": 4, "uint32": 4, "float32": 4, "int64": 8,
+    "uint64": 8, "float64": 8, "complex64": 8, "complex128": 16,
+}
+
+#: numpy array constructors the extractor models (count x itemsize)
+NP_CTORS = frozenset({"zeros", "ones", "empty", "full", "array",
+                      "arange"})
+
+
+@dataclass(frozen=True)
+class ArrayCtor(SymExpr):
+    """A numpy array constructor (``np.zeros(n)``, ``np.arange(n)``...).
+
+    Evaluates to an :class:`ArrayVal` carrying the byte size, or
+    :data:`UNKNOWN` when the element count cannot be resolved.  The
+    default itemsize is 8 (numpy's float64 / int64 inference for the
+    numeric literals rank programs use).
+    """
+
+    func: str = "zeros"
+    args: tuple[SymExpr, ...] = ()
+    dtype: SymExpr = field(default_factory=Const)
+
+    def evaluate(self, env: Env) -> Any:
+        dtype = self.dtype.evaluate(env)
+        if isinstance(dtype, DTypeVal):
+            itemsize = dtype.itemsize
+        elif dtype is None:
+            itemsize = 8
+        else:
+            return UNKNOWN
+        count = self._count(env)
+        if count is None or count < 0:
+            return UNKNOWN
+        return ArrayVal(count=count, itemsize=itemsize)
+
+    def _count(self, env: Env) -> int | None:
+        if not self.args:
+            return None
+        if self.func == "array":
+            value = self.args[0].evaluate(env)
+            # only the *length* matters; elements may stay unresolved
+            if isinstance(value, (list, tuple)):
+                return len(value)
+            if isinstance(value, ArrayVal):
+                return value.count
+            return None
+        if self.func == "arange":
+            bounds = [a.evaluate(env) for a in self.args]
+            if not all(isinstance(b, int) and not isinstance(b, bool)
+                       for b in bounds):
+                return None
+            try:
+                return len(range(*bounds))  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                return None
+        # zeros / ones / empty / full: first arg is the shape
+        shape = self.args[0].evaluate(env)
+        if isinstance(shape, bool):
+            return None
+        if isinstance(shape, int):
+            return shape
+        if isinstance(shape, (list, tuple)) and shape and \
+                all(isinstance(d, int) and not isinstance(d, bool)
+                    for d in shape):
+            total = 1
+            for dim in shape:
+                total *= dim
+            return total
+        return None
+
+    def pretty(self) -> str:
+        return (f"np.{self.func}("
+                + ", ".join(a.pretty() for a in self.args) + ")")
+
+
+@dataclass(frozen=True)
+class HelperCall(SymExpr):
+    """Call of a lifted module-level pure helper function.
+
+    The extractor inlines helpers whose bodies are straight-line
+    return/if-return arithmetic (see ``extract._lift_helper``) into a
+    single expression over their parameters, so rank-routing helpers
+    like a hash-based peer selector stay statically resolvable.
+    """
+
+    name: str = ""
+    params: tuple[str, ...] = ()
+    body: SymExpr = field(default_factory=Const)
+    args: tuple[SymExpr, ...] = ()
+
+    def evaluate(self, env: Env) -> Any:
+        if len(self.args) != len(self.params):
+            return UNKNOWN
+        values = [a.evaluate(env) for a in self.args]
+        if not all(is_known(v) for v in values):
+            return UNKNOWN
+        inner = Env(rank=env.rank, size=env.size, globals_=env.globals)
+        for param, value in zip(self.params, values):
+            inner.store(param, value)
+        return self.body.evaluate(inner)
+
+    def pretty(self) -> str:
+        return (f"{self.name}("
+                + ", ".join(a.pretty() for a in self.args) + ")")
+
+
 #: pure builtins the evaluator may call
 _PURE_FUNCS: dict[str, Callable[..., Any]] = {
     "range": range,

@@ -42,6 +42,7 @@ def round_shift(r: int, size: int) -> int:
 
 
 def _dht_program(ctx, rounds: int, verify: bool, jitter_us: float):
+    # analyze: nranks=4 args=(3,False,0.0)
     rank, size = ctx.rank, ctx.size
     win = yield from ctx.win_allocate(rounds * 8)
     req = yield from ctx.na.notify_init(win, source=ANY_SOURCE, tag=ANY_TAG)

@@ -315,7 +315,6 @@ def run_kv(nservers: int = 4, nclients: int = 8, replication: int = 2,
     (virtual times only) — golden-trace tests compare it verbatim
     between serial and sharded runs.
     """
-    # analyze: skip  (rank count and loop bounds come from the load plan)
     if nservers < 1 or nclients < 1:
         raise ReproError("need at least one server and one client")
     if not 1 <= replication <= nservers:
@@ -337,6 +336,7 @@ def run_kv(nservers: int = 4, nclients: int = 8, replication: int = 2,
     warmup_us = warmup_frac * expected_us
 
     def program(ctx):
+        # analyze: skip  (rank count and loop bounds come from the plan)
         if ctx.rank < nservers:
             result = yield from _server_program(
                 ctx, plans, nservers, replication, reqs_per_client)

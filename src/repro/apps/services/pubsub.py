@@ -231,7 +231,6 @@ def run_pubsub(nbrokers: int = 2, npubs: int = 4, nsubs: int = 6,
     amortization against tail latency — the counting-notification
     trade-off, measurable here.
     """
-    # analyze: skip  (rank count and loop bounds come from the load plan)
     if min(nbrokers, npubs, nsubs) < 1:
         raise ReproError("need at least one broker/publisher/subscriber")
     if not 1 <= fanout <= nsubs:
@@ -253,6 +252,7 @@ def run_pubsub(nbrokers: int = 2, npubs: int = 4, nsubs: int = 6,
     warmup_us = warmup_frac * expected_us
 
     def program(ctx):
+        # analyze: skip  (rank count and loop bounds come from the plan)
         if ctx.rank < nbrokers:
             result = yield from _broker_program(
                 ctx, plan, nbrokers, npubs, nsubs, msgs_per_pub)

@@ -1,0 +1,28 @@
+"""Overlapping unordered puts: ranks 1 and 2 both write the same eight
+bytes of rank 0's window, and nothing orders one transfer before the
+other — whichever commits last wins, nondeterministically.
+
+Expected diagnostic: ``race.overlap-write`` on the ``put_notify`` line,
+ranks (1, 2), nranks=3 — and nothing else.
+"""
+
+import numpy as np
+
+from repro.mpi.constants import ANY_SOURCE
+
+
+def program(ctx):
+    # analyze: nranks=3
+    win = yield from ctx.win_allocate(8)
+    if ctx.rank == 0:
+        req = yield from ctx.na.notify_init(win, source=ANY_SOURCE, tag=0)
+        yield from ctx.na.start(req)
+        yield from ctx.na.wait(req)
+        yield from ctx.na.start(req)
+        yield from ctx.na.wait(req)
+        yield from ctx.na.request_free(req)
+    else:
+        data = np.array([float(ctx.rank)])
+        yield from ctx.na.put_notify(win, data, 0, 0, tag=0)  # unordered
+        yield from win.flush(0)
+    yield from win.free()

@@ -1,0 +1,33 @@
+"""Read before notify: rank 2 gets rank 0's slot without waiting for
+any signal that rank 1's put landed, so the remote read races the
+incoming write and may return either value.
+
+Expected diagnostic: ``race.unordered-read`` on the ``put_notify``
+line, ranks (1, 2), nranks=3 — and nothing else.
+"""
+
+import numpy as np
+
+
+def program(ctx):
+    # analyze: nranks=3
+    win = yield from ctx.win_allocate(8)
+    if ctx.rank == 0:
+        put_req = yield from ctx.na.notify_init(win, source=1, tag=0)
+        get_req = yield from ctx.na.notify_init(win, source=2, tag=1)
+        yield from ctx.na.start(put_req)
+        yield from ctx.na.wait(put_req)
+        yield from ctx.na.start(get_req)
+        yield from ctx.na.wait(get_req)
+        yield from ctx.na.request_free(put_req)
+        yield from ctx.na.request_free(get_req)
+    elif ctx.rank == 1:
+        data = np.array([1.0])
+        yield from ctx.na.put_notify(win, data, 0, 0, tag=0)  # racy put
+        yield from win.flush(0)
+    else:
+        buf = ctx.alloc(8)
+        # reads the slot with no wait ordering it after rank 1's put
+        yield from ctx.na.get_notify(win, buf, 0, 0, nbytes=8, tag=1)
+        yield from win.flush(0)
+    yield from win.free()

@@ -1,0 +1,27 @@
+"""Stale view: the consumer reads its local window view before waiting
+for the producer's notification, so it can observe the slot half-way
+through the incoming transfer.
+
+Expected diagnostic: ``race.stale-view`` on the ``put_notify`` line,
+ranks (0, 1), nranks=2 — and nothing else.
+"""
+
+import numpy as np
+
+
+def program(ctx):
+    # analyze: nranks=2
+    win = yield from ctx.win_allocate(8)
+    if ctx.rank == 0:
+        data = np.array([1.0])
+        yield from ctx.na.put_notify(win, data, 1, 0, tag=0)  # in flight
+        yield from win.flush(1)
+    else:
+        req = yield from ctx.na.notify_init(win, source=0, tag=0)
+        yield from ctx.na.start(req)
+        view = win.local(np.float64, count=1, mode="r")
+        stale = float(view[0])  # read before the wait: may be stale
+        yield from ctx.na.wait(req)
+        yield from ctx.na.request_free(req)
+        del stale
+    yield from win.free()

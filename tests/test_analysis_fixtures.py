@@ -39,6 +39,12 @@ CASES = [
      "# read too early", (), None),
     ("unblessed_raw.py", "epoch.raw-view",
      "# no san_acquire", (), None),
+    ("overlapping_puts.py", "race.overlap-write",
+     "# unordered", (1, 2), 3),
+    ("read_before_notify.py", "race.unordered-read",
+     "# racy put", (1, 2), 3),
+    ("stale_view.py", "race.stale-view",
+     "# in flight", (0, 1), 2),
 ]
 
 

@@ -1,0 +1,343 @@
+"""Unit tests for the static race checker (:mod:`repro.analysis.races`).
+
+Each case is a minimal inline program pinning one edge of the static
+happens-before lattice: which synchronization constructs suppress a
+race, which omissions surface one, and which programs fall outside the
+exactly-modelled fragment (and must stay silent rather than guess).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_file
+
+
+def _races(source: str):
+    findings = analyze_file("<mem>", textwrap.dedent(source))
+    return [f for f in findings if f.check.startswith("race.")]
+
+
+PRODUCER_CONSUMER = """
+    import numpy as np
+
+    def program(ctx):
+        # analyze: nranks=2
+        win = yield from ctx.win_allocate(8)
+        if ctx.rank == 0:
+            yield from ctx.na.put_notify(win, np.array([1.0]), 1, 0,
+                                         tag=0)
+            yield from win.flush(1)
+        else:
+            req = yield from ctx.na.notify_init(win, source=0, tag=0)
+            yield from ctx.na.start(req)
+            yield from ctx.na.wait(req)
+            view = win.local(np.float64, count=1, mode="r")
+            yield from ctx.na.request_free(req)
+        yield from win.free()
+"""
+
+
+def test_notification_wait_orders_view_after_put():
+    assert _races(PRODUCER_CONSUMER) == []
+
+
+def test_view_before_wait_is_stale():
+    racy = PRODUCER_CONSUMER.replace(
+        "yield from ctx.na.wait(req)\n"
+        "            view = win.local(np.float64, count=1, mode=\"r\")",
+        "view = win.local(np.float64, count=1, mode=\"r\")\n"
+        "            yield from ctx.na.wait(req)")
+    (finding,) = _races(racy)
+    assert finding.check == "race.stale-view"
+    assert finding.ranks == (0, 1)
+
+
+def test_race_ok_waiver_suppresses():
+    racy = PRODUCER_CONSUMER.replace(
+        "yield from ctx.na.wait(req)\n"
+        "            view = win.local(np.float64, count=1, mode=\"r\")",
+        "view = win.local(np.float64, count=1, "
+        "mode=\"r\")  # protocol: race-ok\n"
+        "            yield from ctx.na.wait(req)")
+    assert _races(racy) == []
+
+
+def test_disjoint_slots_do_not_overlap():
+    source = """
+        import numpy as np
+
+        def program(ctx):
+            # analyze: nranks=3
+            win = yield from ctx.win_allocate(16)
+            if ctx.rank == 0:
+                req = yield from ctx.na.notify_init(win, source=1, tag=0)
+                req2 = yield from ctx.na.notify_init(win, source=2,
+                                                     tag=0)
+                yield from ctx.na.start(req)
+                yield from ctx.na.wait(req)
+                yield from ctx.na.start(req2)
+                yield from ctx.na.wait(req2)
+                yield from ctx.na.request_free(req)
+                yield from ctx.na.request_free(req2)
+            else:
+                data = np.array([float(ctx.rank)])
+                yield from ctx.na.put_notify(win, data, 0,
+                                             (ctx.rank - 1) * 8, tag=0)
+                yield from win.flush(0)
+            yield from win.free()
+    """
+    assert _races(source) == []
+
+
+def test_same_origin_small_puts_chain_in_order():
+    """Two small puts from one origin to one target ride the same
+    in-order channel: the second overwrites the first, deliberately."""
+    source = """
+        import numpy as np
+
+        def program(ctx):
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(8)
+            if ctx.rank == 0:
+                yield from ctx.na.put_notify(win, np.array([1.0]), 1, 0,
+                                             tag=0)
+                yield from ctx.na.put_notify(win, np.array([2.0]), 1, 0,
+                                             tag=1)
+                yield from win.flush(1)
+            else:
+                req = yield from ctx.na.notify_init(win, source=0, tag=1)
+                yield from ctx.na.start(req)
+                yield from ctx.na.wait(req)
+                yield from ctx.na.request_free(req)
+            yield from win.free()
+    """
+    races = _races(source)
+    # budget: tag-0 notification is unconsumed, but no *race*: the
+    # channel orders the writes and the tag-1 wait orders the epilogue
+    assert races == []
+
+
+def test_different_origin_puts_to_same_slot_race():
+    source = """
+        import numpy as np
+
+        from repro.mpi.constants import ANY_SOURCE
+
+        def program(ctx):
+            # analyze: nranks=3
+            win = yield from ctx.win_allocate(8)
+            if ctx.rank == 0:
+                req = yield from ctx.na.notify_init(win,
+                                                    source=ANY_SOURCE,
+                                                    tag=0)
+                yield from ctx.na.start(req)
+                yield from ctx.na.wait(req)
+                yield from ctx.na.start(req)
+                yield from ctx.na.wait(req)
+                yield from ctx.na.request_free(req)
+            else:
+                data = np.array([float(ctx.rank)])
+                yield from ctx.na.put_notify(win, data, 0, 0, tag=0)
+                yield from win.flush(0)
+            yield from win.free()
+    """
+    (finding,) = _races(source)
+    assert finding.check == "race.overlap-write"
+    assert finding.ranks == (1, 2)
+    assert "bytes [0, 8)" in finding.message
+
+
+def test_accumulates_commute():
+    """Two unordered accumulates to the same slot are atomic: no race."""
+    source = """
+        import numpy as np
+
+        from repro.mpi.constants import ANY_SOURCE
+
+        def program(ctx):
+            # analyze: nranks=3
+            win = yield from ctx.win_allocate(8)
+            if ctx.rank == 0:
+                req = yield from ctx.na.notify_init(win,
+                                                    source=ANY_SOURCE,
+                                                    tag=0)
+                yield from ctx.na.start(req)
+                yield from ctx.na.wait(req)
+                yield from ctx.na.start(req)
+                yield from ctx.na.wait(req)
+                yield from ctx.na.request_free(req)
+            else:
+                data = np.array([float(ctx.rank)])
+                yield from ctx.na.accumulate_notify(win, data, 0, 0,
+                                                    tag=0)
+                yield from win.flush(0)
+            yield from win.free()
+    """
+    assert _races(source) == []
+
+
+def test_barrier_orders_across_ranks():
+    """A barrier after the producer's flush orders the consumer's view
+    even without a notification."""
+    source = """
+        import numpy as np
+
+        def program(ctx):
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(8)
+            if ctx.rank == 0:
+                yield from ctx.na.put_notify(win, np.array([1.0]), 1, 0,
+                                             tag=0)
+                yield from win.flush(1)
+            yield from ctx.barrier()
+            if ctx.rank == 1:
+                req = yield from ctx.na.notify_init(win, source=0, tag=0)
+                yield from ctx.na.start(req)
+                yield from ctx.na.wait(req)
+                view = win.local(np.float64, count=1, mode="r")
+                yield from ctx.na.request_free(req)
+            yield from win.free()
+    """
+    assert _races(source) == []
+
+
+def test_unflushed_put_races_with_barrier():
+    """The barrier alone does not complete an unflushed put: the
+    producer's transfer may still be in flight on the other side."""
+    source = """
+        import numpy as np
+
+        def program(ctx):
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(8)
+            if ctx.rank == 0:
+                yield from ctx.na.put_notify(win, np.array([1.0]), 1, 0,
+                                             tag=0)
+            yield from ctx.barrier()
+            if ctx.rank == 1:
+                view = win.local(np.float64, count=1, mode="r")
+            yield from ctx.barrier()
+            if ctx.rank == 1:
+                req = yield from ctx.na.notify_init(win, source=0, tag=0)
+                yield from ctx.na.start(req)
+                yield from ctx.na.wait(req)
+                yield from ctx.na.request_free(req)
+            yield from win.free()
+    """
+    (finding,) = _races(source)
+    assert finding.check == "race.stale-view"
+
+
+def test_counter_wait_orders_counted_puts():
+    source = """
+        import numpy as np
+
+        def program(ctx):
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(8)
+            if ctx.rank == 0:
+                yield from ctx.counters.put_counted(win,
+                                                    np.array([1.0]), 1,
+                                                    0, tag=0)
+                yield from win.flush(1)
+            else:
+                req = yield from ctx.counters.counter_init(
+                    win, source=0, tag=0, expected_count=1)
+                yield from ctx.counters.start(req)
+                yield from ctx.counters.wait(req)
+                view = win.local(np.float64, count=1, mode="r")
+                yield from ctx.counters.request_free(req)
+            yield from win.free()
+    """
+    assert _races(source) == []
+
+
+def test_get_read_races_unordered_put():
+    source = """
+        import numpy as np
+
+        def program(ctx):
+            # analyze: nranks=3
+            win = yield from ctx.win_allocate(8)
+            if ctx.rank == 0:
+                put_req = yield from ctx.na.notify_init(win, source=1,
+                                                        tag=0)
+                get_req = yield from ctx.na.notify_init(win, source=2,
+                                                        tag=1)
+                yield from ctx.na.start(put_req)
+                yield from ctx.na.wait(put_req)
+                yield from ctx.na.start(get_req)
+                yield from ctx.na.wait(get_req)
+                yield from ctx.na.request_free(put_req)
+                yield from ctx.na.request_free(get_req)
+            elif ctx.rank == 1:
+                yield from ctx.na.put_notify(win, np.array([1.0]), 0, 0,
+                                             tag=0)
+                yield from win.flush(0)
+            else:
+                buf = ctx.alloc(8)
+                yield from ctx.na.get_notify(win, buf, 0, 0, nbytes=8,
+                                             tag=1)
+                yield from win.flush(0)
+            yield from win.free()
+    """
+    (finding,) = _races(source)
+    assert finding.check == "race.unordered-read"
+
+
+def test_inexact_geometry_stays_silent():
+    """Unknown transfer sizes put the program outside the modelled
+    fragment: the checker reports nothing instead of guessing."""
+    source = """
+        def program(ctx, payload):
+            # analyze: nranks=2
+            win = yield from ctx.win_allocate(8)
+            if ctx.rank == 0:
+                yield from ctx.na.put_notify(win, payload, 1, 0, tag=0)
+            yield from win.free()
+    """
+    assert _races(source) == []
+
+
+def test_cross_size_findings_dedupe():
+    """The same defect at several instantiation sizes reports once."""
+    source = """
+        import numpy as np
+
+        def program(ctx):
+            # analyze: nranks=2,3
+            win = yield from ctx.win_allocate(8)
+            if ctx.rank == 0:
+                yield from ctx.na.put_notify(win, np.array([1.0]), 1, 0,
+                                             tag=0)
+                yield from win.flush(1)
+            elif ctx.rank == 1:
+                req = yield from ctx.na.notify_init(win, source=0, tag=0)
+                yield from ctx.na.start(req)
+                view = win.local(np.float64, count=1, mode="r")
+                yield from ctx.na.wait(req)
+                yield from ctx.na.request_free(req)
+            yield from win.free()
+    """
+    races = _races(source)
+    assert len(races) == 1
+    assert races[0].size == 2       # first size seen wins
+
+
+def test_cli_races_filter_and_report_artifact(tmp_path, capsys):
+    from repro.analysis.__main__ import main
+
+    import os
+    fixture = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "fixtures", "bad_protocols",
+                           "overlapping_puts.py")
+    artifact = tmp_path / "findings.txt"
+    code = main(["--races", "--report", str(artifact), fixture])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "race.overlap-write" in out
+    text = artifact.read_text()
+    assert "race.overlap-write" in text
+    # the filter drops non-race checks entirely
+    assert "epoch." not in text and "budget." not in text

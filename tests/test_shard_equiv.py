@@ -141,6 +141,10 @@ def test_sharded_run_surface_and_stats():
     assert sharded_res == serial_res
     assert run.time == serial_cluster.time
     s_stats, p_stats = serial_cluster.stats(), run.stats()
+    # sharded workers build without the sanitizer by design (clocks
+    # span all ranks in one process), so under --sanitize only the
+    # serial run reports it
+    s_stats.pop("sanitizer", None)
     assert p_stats.pop("shards") == 4
     assert p_stats.pop("shard_windows") > 0
     assert p_stats.pop("shard_exchanges") > 0
@@ -162,6 +166,9 @@ def _mixed_program(ctx):
     yield from ctx.na.start(req)
     yield from ctx.na.put_notify(win, np.array([me * 1.5]), right, 0, tag=3)
     yield from ctx.na.wait(req)
+    # order every rank's get after its target's notification wait: the
+    # get below reads LEFT's slot 0, which left's own wait just filled
+    yield from ctx.barrier()
     buf = ctx.alloc(8)
     yield from win.get(buf, left, 0, nbytes=8)
     yield from win.flush(left)
