@@ -56,7 +56,7 @@ TOLERANCE = 3.0
 #: experiments exercised by the ``--shards`` equivalence matrix — small
 #: cluster-driven sweeps whose tables carry no shard-count column, so
 #: byte-equality across shard counts is the exactness contract verbatim
-SHARD_SMOKE = ("fig1", "fig4c", "svc_kv", "svc_pubsub")
+SHARD_SMOKE = ("fig1", "fig4c", "svc_kv", "svc_kv_ft", "svc_pubsub")
 
 
 def coverage_failures(registry=None, configs=None) -> list[str]:

@@ -305,7 +305,7 @@ def run_kv(nservers: int = 4, nclients: int = 8, replication: int = 2,
            reqs_per_client: int = 32, rate_rps: float = 4000.0,
            get_frac: float = 0.5, nkeys: int = 64, zipf_skew: float = 0.9,
            warmup_frac: float = 0.2, process: str = "poisson",
-           verify: bool = False, seed: int = 42,
+           verify: bool = False, ft: bool = False, seed: int = 42,
            config: ClusterConfig | None = None) -> dict:
     """Run the sharded KV service; returns stores, orders, and latencies.
 
@@ -314,7 +314,23 @@ def run_kv(nservers: int = 4, nclients: int = 8, replication: int = 2,
     and throughput accounting.  The returned dict is fully deterministic
     (virtual times only) — golden-trace tests compare it verbatim
     between serial and sharded runs.
+
+    ``ft=True`` switches to the fault-tolerant programs of
+    :mod:`repro.apps.services.kv_ft` (replication failover, epoch
+    checkpoints, crash-exiting servers) — required whenever the cluster
+    config carries a fault plan that kills server ranks.  The legacy
+    ``ft=False`` path is untouched and stays byte-identical to earlier
+    revisions.
     """
+    if ft:
+        from repro.apps.services.kv_ft import run_kv_ft
+        return run_kv_ft(nservers=nservers, nclients=nclients,
+                         replication=replication,
+                         reqs_per_client=reqs_per_client,
+                         rate_rps=rate_rps, get_frac=get_frac,
+                         nkeys=nkeys, zipf_skew=zipf_skew,
+                         warmup_frac=warmup_frac, process=process,
+                         verify=verify, seed=seed, config=config)
     if nservers < 1 or nclients < 1:
         raise ReproError("need at least one server and one client")
     if not 1 <= replication <= nservers:

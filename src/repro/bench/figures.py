@@ -16,7 +16,7 @@ from repro.apps.pingpong import run_pingpong
 from repro.apps.stencil import run_stencil
 from repro.apps.tree import run_tree_reduction
 from repro.bench.report import Table
-from repro.bench.services import svc_kv, svc_pubsub
+from repro.bench.services import svc_kv, svc_kv_ft, svc_pubsub
 from repro.cluster import Cluster, ClusterConfig, run_ranks
 from repro.models.calibration import fit_loggp
 from repro.network.loggp import TransportParams
@@ -480,5 +480,6 @@ ALL_EXPERIMENTS = {
     "sec5": sec5_cache_misses,
     "shard_weak": shard_weak,
     "svc_kv": svc_kv,
+    "svc_kv_ft": svc_kv_ft,
     "svc_pubsub": svc_pubsub,
 }

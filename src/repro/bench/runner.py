@@ -48,6 +48,7 @@ SWEEP_PARAMS: dict[str, str] = {
     "fig5": "nranks_list",
     "shard_weak": "nranks_list",
     "svc_kv": "rates",
+    "svc_kv_ft": "replications",
     "svc_pubsub": "rates",
 }
 
@@ -72,6 +73,10 @@ SMOKE_CONFIGS: dict[str, dict[str, Any]] = {
     "svc_kv": {"rates": (200_000.0, 1_600_000.0, 6_400_000.0),
                "nservers": 2, "nclients": 4, "reqs_per_client": 16,
                "nkeys": 32},
+    "svc_kv_ft": {"replications": (1, 2, 3), "nservers": 3,
+                  "nclients": 4, "reqs_per_client": 16, "nkeys": 32,
+                  "rate_rps": 8_000.0, "detect_us": 400.0,
+                  "ckpt_every": 4},
     "svc_pubsub": {"rates": (100_000.0, 1_000_000.0, 4_000_000.0),
                    "nbrokers": 2, "npubs": 2, "nsubs": 4, "fanout": 2,
                    "msgs_per_pub": 16},

@@ -162,6 +162,14 @@ class CounterEngine:
         return False
 
     def wait(self, req: CounterRequest) -> Generator[object, object, Status]:
+        """Block until the counter crosses its threshold.
+
+        Counter routes are always source-specific (wildcards are rejected
+        at init), so with node failures planned the wait races the signal
+        against a timer to the next failure-detection instant and raises
+        :class:`~repro.errors.FaultError` naming the dead source at
+        ``death + detect_us`` instead of stalling to deadlock detection.
+        """
         while True:
             done = yield from self.test(req)
             if done:
@@ -175,7 +183,18 @@ class CounterEngine:
                 req.consumed += req.expected
                 req.active = False   # satisfied; start() re-arms it
                 return Status(source=req.source, tag=req.tag)
-            yield req.cell.signal.wait()
+            timer = None
+            faults = self.ctx.fabric.faults
+            if faults is not None and faults.plan.node_failures:
+                now = self.engine.now
+                if faults.detected(req.source, now):
+                    raise faults.dead_wait_error("counter", self.rank,
+                                                 req.source)
+                nxt = faults.next_detection(now)
+                if nxt is not None:
+                    timer = self.engine.timeout(nxt - now)
+            ev = req.cell.signal.wait()
+            yield ev if timer is None else self.engine.any_of([ev, timer])
 
     def request_free(self,
                      req: CounterRequest) -> Generator[object, object, None]:

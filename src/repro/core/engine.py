@@ -224,9 +224,41 @@ class NotifyEngine:
             return True
         return False
 
+    def _death_timer(self, reqs: list[NotifyRequest]):
+        """Fail-fast support for waits that could block on a dead peer.
+
+        With node failures planned, a blocking wait races its arrival
+        event against a timer to the next failure-*detection* instant
+        (``death + detect_us``) so it re-examines its sources promptly
+        instead of stalling to deadlock detection.  Raises
+        :class:`~repro.errors.FaultError` naming the dead rank when every
+        source the wait can still match is a detected-dead rank — no
+        surviving node can ever complete it.  Wildcard (``ANY_SOURCE``)
+        requests never fail here: any live rank may still match them, so
+        failover for those lives in :mod:`repro.ft`.  Fault-free runs
+        (no injector, or no ``node_failures``) take none of this path.
+        """
+        faults = self.ctx.fabric.faults
+        if faults is None or not faults.plan.node_failures:
+            return None
+        now = self.engine.now
+        dead = [r.source for r in reqs
+                if r.source != ANY_SOURCE and faults.detected(r.source, now)]
+        if dead and len(dead) == len(reqs):
+            raise faults.dead_wait_error("notification", self.rank, dead[0])
+        nxt = faults.next_detection(now)
+        if nxt is None:
+            return None
+        return self.engine.timeout(nxt - now)
+
     def wait(self, req: NotifyRequest) -> Generator[object, object, Status]:
         """Block until the request completes; returns the status of the
-        **last** matching notified access."""
+        **last** matching notified access.
+
+        Raises :class:`~repro.errors.FaultError` at the failure-detection
+        latency when the request's (specific) source rank has died and the
+        request cannot complete — see :meth:`_death_timer`.
+        """
         while True:
             done = yield from self.test(req)
             if done:
@@ -234,7 +266,10 @@ class NotifyEngine:
                 return req.last_status
             if self.ctx.nic.notification_pending():
                 continue
-            yield self.ctx.nic.notification_arrival()
+            timer = self._death_timer([req])
+            arrival = self.ctx.nic.notification_arrival()
+            yield (arrival if timer is None
+                   else self.engine.any_of([arrival, timer]))
 
     def probe(self, win: Window, source: int = ANY_SOURCE,
               tag: int = ANY_TAG) -> Generator[object, object,
@@ -283,7 +318,12 @@ class NotifyEngine:
 
     def waitany(self, reqs: list[NotifyRequest]
                 ) -> Generator[object, object, tuple[int, Status]]:
-        """Block until any request completes; returns (index, status)."""
+        """Block until any request completes; returns (index, status).
+
+        Fails fast (:class:`~repro.errors.FaultError`) only when *every*
+        request is source-specific to a detected-dead rank; as long as one
+        request could still be matched by a live rank the wait stays up.
+        """
         while True:
             idx = yield from self.testany(reqs)
             if idx is not None:
@@ -292,7 +332,10 @@ class NotifyEngine:
                 return idx, status
             if self.ctx.nic.notification_pending():
                 continue
-            yield self.ctx.nic.notification_arrival()
+            timer = self._death_timer(reqs)
+            arrival = self.ctx.nic.notification_arrival()
+            yield (arrival if timer is None
+                   else self.engine.any_of([arrival, timer]))
 
     def waitall(self, reqs: list[NotifyRequest]
                 ) -> Generator[object, object, list[Status]]:

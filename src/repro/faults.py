@@ -89,6 +89,21 @@ class FaultPlan:
         return bool(self.drop_prob or self.dup_prob or self.delay_prob
                     or self.stall_prob or self.node_failures)
 
+    @property
+    def shardable(self) -> bool:
+        """True if the plan's schedule is independent of operation order.
+
+        Probabilistic fault classes draw from one stream in operation
+        *issue* order, which differs between the serial core and the
+        sharded core's per-worker issue streams — so they are serial-only.
+        A plan that injects nothing but node failures makes no draws at
+        all (the node-down check is a pure table lookup), so its fault
+        schedule is a function of (rank, time) alone and sharded runs
+        stay byte-identical with serial ones.
+        """
+        return not (self.drop_prob or self.dup_prob or self.delay_prob
+                    or self.stall_prob)
+
 
 @dataclass
 class TransferFate:
@@ -142,6 +157,37 @@ class FaultInjector:
         when = self.plan.node_failures.get(rank)
         return when is not None and now >= when
 
+    def death_time(self, rank: int) -> float | None:
+        """When ``rank``'s node dies (µs), or None if it never does."""
+        return self.plan.node_failures.get(rank)
+
+    def detection_time(self, rank: int) -> float | None:
+        """When ``rank``'s failure becomes *visible* to waiters (µs).
+
+        Failure detection is not instantaneous: a death at ``t`` is only
+        reported at ``t + detect_us`` — the same latency after which an
+        in-flight operation against the dead node is failed.
+        """
+        when = self.plan.node_failures.get(rank)
+        return None if when is None else when + self.plan.detect_us
+
+    def detected(self, rank: int, now: float) -> bool:
+        """Has ``rank``'s failure been detected by virtual time ``now``?"""
+        at = self.detection_time(rank)
+        return at is not None and now >= at
+
+    def next_detection(self, now: float) -> float | None:
+        """The earliest future failure-detection instant after ``now``.
+
+        Blocking wait primitives race their wakeup event against a timer
+        to this instant so a wait on a dying peer fails promptly at
+        ``detect_us`` instead of stalling to deadlock detection.
+        """
+        times = [when + self.plan.detect_us
+                 for when in self.plan.node_failures.values()
+                 if when + self.plan.detect_us > now]
+        return min(times, default=None)
+
     def transfer_fate(self, origin: int, target: int, nbytes: int,
                       medium: str, now: float) -> TransferFate:
         """Decide the fate of one transfer issued at ``now``.
@@ -173,6 +219,10 @@ class FaultInjector:
                                  medium=medium)
             else:
                 self.lost_ops += 1
+                # The max_retries retransmissions were still performed
+                # (and charged) before the op was abandoned, so they
+                # count toward the retries ledger like successful ones.
+                self.retries += plan.max_retries
                 self.tracer.emit(now, "fault", origin, target, nbytes,
                                  fault="lost", medium=medium)
                 return TransferFate(retries=plan.max_retries,
@@ -215,11 +265,36 @@ class FaultInjector:
         self.tracer.emit(now, "fault", origin, target, 0,
                          fault="dup-suppressed", op=kind)
 
-    def lost_error(self, kind: str, origin: int, target: int) -> FaultError:
-        """The exception an abandoned operation fails with."""
+    def lost_error(self, kind: str, origin: int, target: int,
+                   now: float | None = None) -> FaultError:
+        """The exception an abandoned operation fails with.
+
+        Names the dead endpoint (and its death time) when the loss is a
+        node failure, so a waiter's traceback identifies *which* rank to
+        fail over from; plain retry exhaustion keeps the generic message.
+        """
+        dead = [r for r in (origin, target)
+                if (self.rank_down(r, now) if now is not None
+                    else r in self.plan.node_failures)]
+        if dead:
+            causes = ", ".join(
+                f"rank {r} down since t={self.plan.node_failures[r]:g}us"
+                for r in dead)
+            return FaultError(
+                f"{kind} {origin}->{target} abandoned: {causes} "
+                f"(detected after {self.plan.detect_us:g}us)")
         return FaultError(
             f"{kind} {origin}->{target} abandoned: "
             f"retries exhausted or node down")
+
+    def dead_wait_error(self, kind: str, waiter: int,
+                        source: int) -> FaultError:
+        """The exception a wait against a detected-dead peer fails with."""
+        when = self.plan.node_failures.get(source)
+        since = f" since t={when:g}us" if when is not None else ""
+        return FaultError(
+            f"{kind} wait on rank {waiter}: peer rank {source} is "
+            f"down{since} (detected after {self.plan.detect_us:g}us)")
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, Any]:

@@ -1,0 +1,90 @@
+"""Failure detection oracle over the fault injector's node-death plan.
+
+A real RMA fault-tolerance layer learns about dead peers from a failure
+detector (timeouts, OS notifications, out-of-band heartbeats).  Here the
+ground truth is the :class:`~repro.faults.FaultPlan`'s ``node_failures``
+table, and the detector exposes it with the same visibility latency the
+transport uses to fail in-flight operations: a death at virtual time
+``t`` becomes *detectable* at ``t + detect_us``.  All recovery decisions
+(replica selection, failover, crash-exit deadlines) consult this oracle,
+so they are pure functions of (plan, virtual time) — deterministic, and
+byte-identical between serial and sharded runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class FailureDetector:
+    """Per-rank view of planned node deaths and their detection times."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        faults = ctx.fabric.faults
+        self.plan = faults.plan if faults is not None else None
+
+    @property
+    def detect_us(self) -> float:
+        """Failure-detection latency (0 when no plan is active)."""
+        return 0.0 if self.plan is None else self.plan.detect_us
+
+    def death_time(self, rank: int) -> float | None:
+        """When ``rank`` dies (µs), or None if it never does."""
+        if self.plan is None:
+            return None
+        return self.plan.node_failures.get(rank)
+
+    def detection_time(self, rank: int) -> float | None:
+        """When ``rank``'s death becomes visible (µs), or None."""
+        when = self.death_time(rank)
+        return None if when is None else when + self.plan.detect_us
+
+    def is_down(self, rank: int, now: float | None = None) -> bool:
+        """Has ``rank`` actually died by ``now`` (ground truth)?"""
+        when = self.death_time(rank)
+        if when is None:
+            return False
+        return (self.ctx.now if now is None else now) >= when
+
+    def detected(self, rank: int, now: float | None = None) -> bool:
+        """Has ``rank``'s death been *detected* by ``now``?
+
+        This is what recovery code must use: between death and
+        detection the failure is invisible, exactly like the window in
+        which the transport still accepts (and loses) operations to the
+        dead node.
+        """
+        at = self.detection_time(rank)
+        if at is None:
+            return False
+        return (self.ctx.now if now is None else now) >= at
+
+    def live(self, ranks: Iterable[int],
+             now: float | None = None) -> list[int]:
+        """The ranks not yet detected dead, in the given order."""
+        t = self.ctx.now if now is None else now
+        return [r for r in ranks if not self.detected(r, t)]
+
+    def next_detection(self, now: float | None = None) -> float | None:
+        """The earliest future detection instant, or None."""
+        if self.plan is None or not self.plan.node_failures:
+            return None
+        t = self.ctx.now if now is None else now
+        times = [when + self.plan.detect_us
+                 for when in self.plan.node_failures.values()
+                 if when + self.plan.detect_us > t]
+        return min(times, default=None)
+
+    def timer(self):
+        """An engine timeout to the next detection instant, or None.
+
+        Blocking recovery loops race their wakeup event against this
+        timer so they re-examine the failure picture as soon as it can
+        have changed — never earlier (no spurious wakeups on fault-free
+        runs) and never later (no stall to deadlock detection).
+        """
+        nxt = self.next_detection()
+        if nxt is None:
+            return None
+        return self.ctx.engine.timeout(nxt - self.ctx.now)

@@ -257,7 +257,8 @@ class Fabric:
                    fate: TransferFate, *events: Event) -> None:
         """Fail ``events`` once the transport gives up on a lost op."""
         assert self.faults is not None
-        err = self.faults.lost_error(kind, origin, target)
+        err = self.faults.lost_error(kind, origin, target,
+                                     now=self.engine.now)
         when = self.engine.now + fate.fail_after
         for ev in events:
             # A lost op's completion events may legitimately never be waited

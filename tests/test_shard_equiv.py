@@ -278,3 +278,65 @@ def test_dht_verifies_serial():
     assert out["verified"]
     assert out["inserts"] == 42
     assert out["time_us"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Node-failure plans under sharding (FaultPlan.shardable)
+# ---------------------------------------------------------------------------
+def test_effective_shards_admits_node_failure_plans(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    cfg = ClusterConfig(nranks=4, ranks_per_node=2, shards=2,
+                        faults=FaultPlan(node_failures={1: 10.0},
+                                         detect_us=5.0))
+    assert effective_shards(cfg) == 2
+
+
+def _death_put_program(ctx):
+    """Fire-and-forget puts around a planned peer death; nobody waits on
+    the doomed remote completions, so lost ops only move counters."""
+    win = yield from ctx.win_allocate(64)
+    yield from win.lock_all()
+    yield from ctx.barrier()
+    data = np.full(8, ctx.rank, dtype=np.uint8)
+    target = (ctx.rank + 1) % ctx.size
+    for _ in range(6):
+        yield from win.put(data, target, 0)
+        yield ctx.timeout(20.0)
+    return ctx.now
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_node_death_plan_matches_serial(shards):
+    """Sharded runs accept node-failure-only plans and stay byte-identical
+    — results AND the merged per-worker fault counters (a plain dict
+    merge would keep only the last worker's injector)."""
+    plan = FaultPlan(node_failures={1: 50.0}, detect_us=10.0)
+
+    def go(n):
+        res, cluster = run_ranks(
+            8, _death_put_program,
+            config=ClusterConfig(nranks=8, ranks_per_node=2, shards=n,
+                                 faults=plan))
+        return res, cluster.stats()["faults"]
+
+    serial_res, serial_faults = go(1)
+    shard_res, shard_faults = go(shards)
+    assert shard_res == serial_res
+    assert serial_faults["node_drops"] > 0
+    assert shard_faults == serial_faults
+
+
+def test_kv_ft_matches_serial_under_faults():
+    """The full fault-tolerant KV service — replication failover, buddy
+    checkpoints, crash-exiting server — is byte-identical at shards=2."""
+    from repro.apps.services import run_kv_ft
+
+    def go(n):
+        cfg = ClusterConfig(nranks=6, ranks_per_node=2, shards=n,
+                            faults=FaultPlan(node_failures={1: 2000.0},
+                                             detect_us=300.0))
+        return run_kv_ft(nservers=3, nclients=3, replication=2,
+                         reqs_per_client=8, nkeys=16, rate_rps=8000.0,
+                         ckpt_every=2, seed=5, config=cfg)
+
+    assert go(2) == go(1)
